@@ -1,0 +1,228 @@
+// Benchmark harness: one benchmark per experiment (E1..E13, the paper's
+// "tables and figures") plus micro-benchmarks of the hot kernels. Each
+// experiment benchmark executes the same code path as cmd/experiments -quick
+// and reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every measured quantity in EXPERIMENTS.md at reduced scale.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// benchExperiment runs a registered experiment end-to-end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := expt.Config{Seed: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if len(res.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1MatchingCoreset(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2VCCoreset(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE3GreedyCoresetGap(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4MinVCCoresetGap(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5MatchingLB(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6VCLB(b *testing.B)                 { benchExperiment(b, "E6") }
+func BenchmarkE7SubsampledProtocol(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8GroupedVC(b *testing.B)            { benchExperiment(b, "E8") }
+func BenchmarkE9MapReduce(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10RandomVsAdversarial(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Weighted(b *testing.B)            { benchExperiment(b, "E11") }
+func BenchmarkE12Concentration(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Parallel(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkE14ExactKernels(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15WeightedVC(b *testing.B)          { benchExperiment(b, "E15") }
+func BenchmarkE16HVPGame(b *testing.B)             { benchExperiment(b, "E16") }
+func BenchmarkE17GreedyTrajectory(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18PeelingSandwich(b *testing.B)     { benchExperiment(b, "E18") }
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+func benchGraph(n int, avgDeg float64, seed uint64) *graph.Graph {
+	return gen.GNP(n, avgDeg/float64(n), rng.New(seed))
+}
+
+func BenchmarkKernelMatchingCoreset(b *testing.B) {
+	g := benchGraph(16384, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MatchingCoreset(g.N, g.Edges)
+	}
+}
+
+func BenchmarkKernelVCCoreset(b *testing.B) {
+	g := benchGraph(16384, 32, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeVCCoreset(g.N, 8, g.Edges)
+	}
+}
+
+func BenchmarkKernelRandomPartition(b *testing.B) {
+	g := benchGraph(16384, 16, 3)
+	r := rng.New(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.RandomK(g.Edges, 16, r)
+	}
+}
+
+func BenchmarkKernelComposeMatching(b *testing.B) {
+	g := benchGraph(16384, 8, 5)
+	parts := partition.RandomK(g.Edges, 8, rng.New(6))
+	coresets := make([][]graph.Edge, len(parts))
+	for i, p := range parts {
+		coresets[i] = core.MatchingCoreset(g.N, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComposeMatching(g.N, coresets)
+	}
+}
+
+func BenchmarkKernelGreedyMatchCombine(b *testing.B) {
+	g := benchGraph(16384, 8, 7)
+	parts := partition.RandomK(g.Edges, 8, rng.New(8))
+	coresets := make([][]graph.Edge, len(parts))
+	for i, p := range parts {
+		coresets[i] = core.MatchingCoreset(g.N, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyMatchCombine(g.N, coresets)
+	}
+}
+
+func BenchmarkPipelineDistributedMatching(b *testing.B) {
+	g := benchGraph(16384, 8, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := core.DistributedMatching(g, 16, 0, uint64(i))
+		if m.Size() == 0 {
+			b.Fatal("empty matching")
+		}
+	}
+}
+
+func BenchmarkPipelineDistributedVC(b *testing.B) {
+	g := benchGraph(16384, 16, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover, _ := core.DistributedVertexCover(g, 16, 0, uint64(i))
+		if len(cover) == 0 {
+			b.Fatal("empty cover")
+		}
+	}
+}
+
+func BenchmarkProtocolMatchingEndToEnd(b *testing.B) {
+	g := benchGraph(16384, 8, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.Run(g, 16, protocol.MatchingCoresetProtocol{}, uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalBytes), "bytes/op")
+	}
+}
+
+func BenchmarkMapReduceCoreset(b *testing.B) {
+	g := benchGraph(4096, 16, 12)
+	k := mapreduce.DefaultK(g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapreduce.CoresetMatchingMR(g, k, false, uint64(i), 0)
+	}
+}
+
+func BenchmarkMapReduceFiltering(b *testing.B) {
+	g := benchGraph(4096, 16, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapreduce.FilteringMatching(g, g.N, uint64(i))
+	}
+}
+
+// Ablation: per-partition maximum matching via blossom vs Hopcroft-Karp on
+// the same bipartite input (the auto-dispatch win called out in DESIGN.md).
+func BenchmarkAblationHopcroftKarpVsBlossom(b *testing.B) {
+	bip := gen.BipartiteGNP(4096, 4096, 8.0/4096, rng.New(14))
+	g := bip.ToGraph()
+	b.Run("hopcroft-karp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matching.HopcroftKarp(bip)
+		}
+	})
+	b.Run("blossom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matching.Blossom(g.N, g.Edges)
+		}
+	})
+}
+
+// Ablation: exact composition vs one-pass GreedyMatch at the coordinator
+// (quality is compared in E1; this compares cost).
+func BenchmarkAblationComposeVsGreedy(b *testing.B) {
+	g := benchGraph(32768, 8, 15)
+	parts := partition.RandomK(g.Edges, 16, rng.New(16))
+	coresets := make([][]graph.Edge, len(parts))
+	for i, p := range parts {
+		coresets[i] = core.MatchingCoreset(g.N, p)
+	}
+	b.Run("exact-compose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ComposeMatching(g.N, coresets)
+		}
+	})
+	b.Run("greedy-combine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GreedyMatchCombine(g.N, coresets)
+		}
+	})
+}
+
+// Ablation: parallel workers for the per-machine summary phase (E13's
+// metric as a bench).
+func BenchmarkAblationWorkers(b *testing.B) {
+	g := benchGraph(32768, 8, 17)
+	parts := partition.RandomK(g.Edges, 32, rng.New(18))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MapParts(parts, w, func(j int, part []graph.Edge) int {
+					return len(core.MatchingCoreset(g.N, part))
+				})
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s-%d", prefix, v)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphGenerators(t *testing.T) {
+	for _, name := range []string{"gnp", "powerlaw", "star"} {
+		g, err := loadGraph("", name, 500, 6, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N != 500 {
+			t.Fatalf("%s: n = %d", name, g.N)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLoadGraphUnknownGenerator(t *testing.T) {
+	if _, err := loadGraph("", "nope", 10, 2, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestLoadGraphMissingArgs(t *testing.T) {
+	if _, err := loadGraph("", "", 10, 2, 1); err == nil {
+		t.Fatal("no input source accepted")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("p 4 2\n0 1\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 2 {
+		t.Fatalf("loaded n=%d m=%d", g.N, g.M())
+	}
+}
+
+func TestLoadGraphFileMissing(t *testing.T) {
+	if _, err := loadGraph("/does/not/exist", "", 0, 0, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadGraphDeterministicSeed(t *testing.T) {
+	a, err := loadGraph("", "gnp", 300, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadGraph("", "gnp", 300, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("generator not deterministic under seed")
+	}
+}

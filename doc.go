@@ -1,0 +1,20 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Sepehr Assadi and Sanjeev Khanna.
+//	"Randomized Composable Coresets for Matching and Vertex Cover".
+//	SPAA 2017 (arXiv:1705.08242).
+//
+// The paper shows that although maximum matching and minimum vertex cover
+// admit no small summaries under adversarial edge partitioning, a *random*
+// k-partitioning changes everything: any maximum matching of a machine's
+// partition is an O(1)-approximate composable coreset (Theorem 1), and an
+// iterative peeling algorithm yields an O(log n)-approximate coreset for
+// vertex cover (Theorem 2) — both of size O~(n). The repository implements
+// the coresets, the protocol variants that make the paper's communication
+// lower bounds tight (Remarks 5.2 and 5.8), the negative baselines, the
+// hard input distributions behind the lower bounds (Theorems 3-6), the
+// 2-round MapReduce algorithms, and an experiment harness (internal/expt,
+// cmd/experiments) that regenerates a measurable table for every formal
+// claim. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

@@ -1,0 +1,88 @@
+// Distributed matching in the simultaneous coordinator model.
+//
+// This example runs several simultaneous protocols over the same randomly
+// partitioned input — the paper's Theorem 1 coreset, the Remark 5.2
+// subsampled variant at different α, the greedy-maximal negative baseline
+// and the full-graph ceiling — and prints an accuracy/communication
+// trade-off table. It then repeats the coreset protocol under an
+// adversarial partitioning of a trap instance to show why the *randomized*
+// part of "randomized composable coresets" matters.
+//
+// Run: go run ./examples/distributed_matching
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		n    = 16384
+		k    = 16
+		seed = 7
+	)
+	root := rng.New(seed)
+	g := gen.GNP(n, 12/float64(n), root.Split(0))
+	opt := matching.Maximum(g.N, g.Edges).Size()
+	fmt.Printf("input: G(n=%d, m=%d), k=%d machines, MM(G)=%d\n\n", g.N, g.M(), k, opt)
+
+	tb := stats.NewTable("simultaneous protocols (one message per machine)",
+		"protocol", "matching", "ratio", "total bytes", "max msg bytes")
+	protocols := []protocol.Protocol{
+		protocol.FullGraphProtocol{Task: "matching"},
+		protocol.MatchingCoresetProtocol{},
+		protocol.SubsampledMatchingProtocol{Alpha: 2},
+		protocol.SubsampledMatchingProtocol{Alpha: 4},
+		protocol.SubsampledMatchingProtocol{Alpha: 8},
+		protocol.GreedyMaximalProtocol{},
+	}
+	for _, p := range protocols {
+		res, err := protocol.Run(g, k, p, seed, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := len(res.Solution.MatchingEdges)
+		tb.AddRow(p.Name(), size,
+			fmt.Sprintf("%.3f", float64(opt)/float64(size)),
+			res.TotalBytes, res.MaxMessageBytes)
+	}
+	tb.Fprint(os.Stdout)
+	fmt.Println()
+
+	// Random vs adversarial partitioning on the greedy-trap instance.
+	inst := gen.GreedyTrap(4000, k, root.Split(1))
+	tg := inst.B.ToGraph()
+	fmt.Printf("trap instance: n=%d, m=%d, planted matching %d\n", tg.N, tg.M(), inst.N)
+
+	tb2 := stats.NewTable("same coreset, different partitioning",
+		"partitioning", "matching", "ratio vs planted")
+	for _, strat := range []string{"random", "adversarial (by right endpoint)"} {
+		var parts [][]graph.Edge
+		if strat == "random" {
+			parts = partition.RandomK(tg.Edges, k, root.Split(2))
+		} else {
+			assign := make([]int, len(tg.Edges))
+			for i, e := range tg.Edges {
+				assign[i] = int(e.V) % k
+			}
+			parts = partition.ByAssignment(tg.Edges, k, assign)
+		}
+		coresets := core.MapParts(parts, 0, func(i int, part []graph.Edge) []graph.Edge {
+			return core.MatchingCoreset(tg.N, part)
+		})
+		got := core.ComposeMatching(tg.N, coresets).Size()
+		tb2.AddRow(strat, got, fmt.Sprintf("%.2f", float64(inst.N)/float64(got)))
+	}
+	tb2.Fprint(os.Stdout)
+}

@@ -1,0 +1,72 @@
+// MapReduce vertex cover: the paper's 2-round coreset algorithm vs the
+// filtering baseline of Lattanzi et al. [46].
+//
+// The example runs both algorithms on the same graph in the simulated
+// Karloff-Suri-Vassilvitskii model (k = sqrt(n) machines) and prints rounds,
+// per-machine memory and solution quality — reproducing the paper's
+// Section 1.1 MapReduce claim.
+//
+// Run: go run ./examples/mapreduce_vertexcover
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/mapreduce"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/vcover"
+)
+
+func main() {
+	const seed = 3
+	r := rng.New(seed)
+	g := gen.GNP(10000, 40/10000.0, r)
+	k := mapreduce.DefaultK(g.N)
+	lb := matching.MaximalGreedy(g.N, g.Edges).Size() // VC(G) >= |any maximal matching|
+	fmt.Printf("input: G(n=%d, m=%d), k=ceil(sqrt(n))=%d machines, VC lower bound %d\n\n",
+		g.N, g.M(), k, lb)
+
+	tb := stats.NewTable("MapReduce comparison (vertex cover and matching)",
+		"algorithm", "rounds", "max machine load (edges)", "solution", "quality")
+
+	cover, st := mapreduce.CoresetVCMR(g, k, false, seed, 0)
+	if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
+		log.Fatalf("coreset cover infeasible: %v", err)
+	}
+	tb.AddRow("vc: coreset (2 rounds)", st.Rounds, st.MaxMachineLoad,
+		fmt.Sprintf("%d vertices", len(cover)),
+		fmt.Sprintf("%.2fx LB", float64(len(cover))/float64(lb)))
+
+	cover1, st1 := mapreduce.CoresetVCMR(g, k, true, seed, 0)
+	tb.AddRow("vc: coreset (random input)", st1.Rounds, st1.MaxMachineLoad,
+		fmt.Sprintf("%d vertices", len(cover1)),
+		fmt.Sprintf("%.2fx LB", float64(len(cover1))/float64(lb)))
+
+	fcover, stf := mapreduce.FilteringVC(g, g.N, seed)
+	if err := vcover.Verify(g.N, g.Edges, fcover); err != nil {
+		log.Fatalf("filtering cover infeasible: %v", err)
+	}
+	tb.AddRow("vc: filtering [46]", stf.Rounds, stf.MaxMachineLoad,
+		fmt.Sprintf("%d vertices", len(fcover)),
+		fmt.Sprintf("%.2fx LB", float64(len(fcover))/float64(lb)))
+
+	opt := matching.Maximum(g.N, g.Edges).Size()
+	m, stm := mapreduce.CoresetMatchingMR(g, k, false, seed, 0)
+	tb.AddRow("matching: coreset (2 rounds)", stm.Rounds, stm.MaxMachineLoad,
+		fmt.Sprintf("%d edges", m.Size()),
+		fmt.Sprintf("%.3f of OPT", float64(m.Size())/float64(opt)))
+
+	fm, stfm := mapreduce.FilteringMatching(g, g.N, seed)
+	tb.AddRow("matching: filtering [46]", stfm.Rounds, stfm.MaxMachineLoad,
+		fmt.Sprintf("%d edges", fm.Size()),
+		fmt.Sprintf("%.3f of OPT", float64(fm.Size())/float64(opt)))
+
+	tb.Fprint(os.Stdout)
+	fmt.Println("\nthe coreset algorithm always finishes in 2 rounds (1 when the input")
+	fmt.Println("is already randomly distributed); filtering needs more rounds as memory tightens.")
+}

@@ -1,0 +1,150 @@
+// Package commgame simulates the Hidden Vertex Problem (HVP), the two-player
+// one-way communication game at the heart of the paper's Ω(nk/α) vertex
+// cover lower bound (Section 5.3.1, Lemma 5.7).
+//
+// In HVP there are disjoint universes U and V and a public map σ: U → V.
+// Bob holds T ⊆ U. Alice holds the unordered set S ∪ {u*}, where S ⊆ T and
+// u* is a uniform element of U \ T — Alice cannot tell which of her elements
+// is u* because she does not know T. After a single message from Alice, Bob
+// must output sets X ⊆ U and Y ⊆ V with u* ∈ X or σ(u*) ∈ Y, and the goal
+// is to keep |X ∪ Y| small (o(n)).
+//
+// Lemma 5.7 proves any protocol achieving |X ∪ Y| ≤ C·n with probability
+// 2/3 needs Ω(n/α) = Ω(|S|) bits. The package implements the distribution
+// D_HVP (derived from D_VC exactly as in Claim 5.6: each element of T is in
+// S independently with probability ≈ 1/3) and the natural protocol
+// strategies, so experiment E16 can trace the bits-vs-output-size frontier
+// that the lemma bounds.
+package commgame
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Instance is one draw from D_HVP.
+type Instance struct {
+	N     int        // |U|
+	InT   []bool     // Bob's input: membership of U in T
+	Alice []graph.ID // Alice's input: S ∪ {u*}, in random order
+	UStar graph.ID   // ground truth (hidden from both players)
+}
+
+// New draws an instance: T is a uniform subset of U of size t, each element
+// of T joins S independently with probability pS (Claim 5.6 has pS ≈ 1/3),
+// and u* is uniform over U \ T.
+func New(n, t int, pS float64, r *rng.RNG) *Instance {
+	if t < 0 || t >= n {
+		panic("commgame: need 0 <= t < n")
+	}
+	inst := &Instance{N: n, InT: make([]bool, n)}
+	for _, v := range r.SampleK(n, t) {
+		inst.InT[v] = true
+	}
+	var outside []graph.ID
+	for v := 0; v < n; v++ {
+		if inst.InT[v] {
+			if r.Bernoulli(pS) {
+				inst.Alice = append(inst.Alice, graph.ID(v))
+			}
+		} else {
+			outside = append(outside, graph.ID(v))
+		}
+	}
+	inst.UStar = outside[r.Intn(len(outside))]
+	inst.Alice = append(inst.Alice, inst.UStar)
+	r.Shuffle(len(inst.Alice), func(i, j int) {
+		inst.Alice[i], inst.Alice[j] = inst.Alice[j], inst.Alice[i]
+	})
+	return inst
+}
+
+// Result of running a strategy.
+type Result struct {
+	X        []graph.ID // Bob's output set (X ⊆ U; Y is analogous under σ)
+	BitsUsed int
+	Success  bool // u* ∈ X
+}
+
+func (inst *Instance) finish(candidates []graph.ID, bits int) *Result {
+	res := &Result{X: candidates, BitsUsed: bits}
+	for _, v := range candidates {
+		if v == inst.UStar {
+			res.Success = true
+			break
+		}
+	}
+	return res
+}
+
+// idBits is the per-element cost of sending an identifier.
+func idBits(n int) int {
+	b := 1
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// SubsetStrategy: Alice sends as many of her elements (verbatim) as the bit
+// budget allows, chosen uniformly. Bob knows T, so any received element
+// outside T is u* (output size 1); if no received element falls outside T,
+// Bob fails (equivalently, must output all of U \ T). This is the honest
+// "send part of your input" protocol a size-bounded coreset induces.
+func SubsetStrategy(inst *Instance, bitBudget int, r *rng.RNG) *Result {
+	per := idBits(inst.N)
+	s := bitBudget / per
+	if s > len(inst.Alice) {
+		s = len(inst.Alice)
+	}
+	var sent []graph.ID
+	if s == len(inst.Alice) {
+		sent = inst.Alice
+	} else {
+		for _, i := range r.SampleK(len(inst.Alice), s) {
+			sent = append(sent, inst.Alice[i])
+		}
+	}
+	var candidates []graph.ID
+	for _, v := range sent {
+		if !inst.InT[v] {
+			candidates = append(candidates, v)
+		}
+	}
+	return inst.finish(candidates, s*per)
+}
+
+// HashStrategy: Alice sends an h-bit hash of EVERY element of her input.
+// Bob outputs every element of U \ T whose hash matches one of the received
+// hashes: u* is always included (success probability 1) but false positives
+// make |X| ≈ (n - t)·|Alice|/2^h. Shrinking |X| to O(1) forces
+// h ≈ log(n) and therefore Ω(|S|·log n) bits — the bits-vs-|X| trade-off
+// of Lemma 5.7.
+func HashStrategy(inst *Instance, hashBits int, r *rng.RNG) *Result {
+	if hashBits < 1 || hashBits > 62 {
+		panic("commgame: hashBits out of range")
+	}
+	// Public-coin hash: both parties derive it from a shared stream.
+	salt := r.Uint64()
+	h := func(v graph.ID) uint64 {
+		x := salt ^ (uint64(uint32(v))+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+		x ^= x >> 29
+		x *= 0x94d049bb133111eb
+		x ^= x >> 32
+		return x & (1<<uint(hashBits) - 1)
+	}
+	sentHashes := make(map[uint64]struct{}, len(inst.Alice))
+	for _, v := range inst.Alice {
+		sentHashes[h(v)] = struct{}{}
+	}
+	var candidates []graph.ID
+	for v := 0; v < inst.N; v++ {
+		if inst.InT[v] {
+			continue
+		}
+		if _, ok := sentHashes[h(graph.ID(v))]; ok {
+			candidates = append(candidates, graph.ID(v))
+		}
+	}
+	return inst.finish(candidates, len(inst.Alice)*hashBits)
+}

@@ -1,0 +1,135 @@
+package commgame
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestInstanceStructure(t *testing.T) {
+	r := rng.New(1)
+	inst := New(1000, 300, 1.0/3, r)
+	if inst.InT[inst.UStar] {
+		t.Fatal("u* must lie outside T")
+	}
+	// Alice holds S ∪ {u*}; S ⊆ T.
+	found := false
+	for _, v := range inst.Alice {
+		if v == inst.UStar {
+			found = true
+		} else if !inst.InT[v] {
+			t.Fatalf("Alice element %d outside T is not u*", v)
+		}
+	}
+	if !found {
+		t.Fatal("u* missing from Alice's input")
+	}
+	// |S| concentrates near t/3.
+	s := len(inst.Alice) - 1
+	if math.Abs(float64(s)-100) > 40 {
+		t.Fatalf("|S| = %d, want ~100", s)
+	}
+}
+
+func TestSubsetStrategyFullBudgetAlwaysWins(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		inst := New(500, 150, 1.0/3, r)
+		res := SubsetStrategy(inst, 1<<20, r) // unbounded budget
+		if !res.Success {
+			t.Fatalf("trial %d: full-input subset strategy failed", trial)
+		}
+		if len(res.X) != 1 {
+			t.Fatalf("trial %d: |X| = %d, want 1 (Bob filters by T)", trial, len(res.X))
+		}
+	}
+}
+
+func TestSubsetStrategySuccessScalesWithBudget(t *testing.T) {
+	// P(success) ≈ sent/|Alice|: quarter budget ≈ 25%.
+	r := rng.New(5)
+	const trials = 400
+	wins := 0
+	var fracSum float64
+	for i := 0; i < trials; i++ {
+		inst := New(1024, 300, 1.0/3, r)
+		per := idBits(inst.N)
+		budget := per * len(inst.Alice) / 4
+		res := SubsetStrategy(inst, budget, r)
+		fracSum += 0.25
+		if res.Success {
+			wins++
+		}
+		if res.BitsUsed > budget {
+			t.Fatalf("strategy overspent: %d > %d", res.BitsUsed, budget)
+		}
+	}
+	got := float64(wins) / trials
+	want := fracSum / trials
+	if math.Abs(got-want) > 0.08 {
+		t.Fatalf("success rate %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestHashStrategyAlwaysSucceeds(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		inst := New(800, 200, 1.0/3, r)
+		res := HashStrategy(inst, 12, r)
+		if !res.Success {
+			t.Fatalf("trial %d: hash strategy must never miss u*", trial)
+		}
+	}
+}
+
+func TestHashStrategyOutputShrinksWithBits(t *testing.T) {
+	r := rng.New(9)
+	var small, large float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		inst := New(2048, 512, 1.0/3, r)
+		small += float64(len(HashStrategy(inst, 4, r).X))
+		large += float64(len(HashStrategy(inst, 16, r).X))
+	}
+	small /= trials
+	large /= trials
+	if large >= small {
+		t.Fatalf("more hash bits should shrink |X|: 4 bits -> %.1f, 16 bits -> %.1f", small, large)
+	}
+	if large > 8 {
+		t.Fatalf("16-bit hashes should isolate u*: |X| = %.1f", large)
+	}
+}
+
+func TestHashStrategyBitAccounting(t *testing.T) {
+	r := rng.New(11)
+	inst := New(512, 128, 1.0/3, r)
+	res := HashStrategy(inst, 10, r)
+	if res.BitsUsed != len(inst.Alice)*10 {
+		t.Fatalf("bits = %d, want %d", res.BitsUsed, len(inst.Alice)*10)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := rng.New(13)
+	for name, f := range map[string]func(){
+		"t >= n":    func() { New(5, 5, 0.3, r) },
+		"hash bits": func() { HashStrategy(New(10, 3, 0.3, r), 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIDBits(t *testing.T) {
+	if idBits(2) != 1 || idBits(1024) != 10 || idBits(1025) != 11 {
+		t.Fatalf("idBits wrong: %d %d %d", idBits(2), idBits(1024), idBits(1025))
+	}
+}

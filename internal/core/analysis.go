@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Analysis instrumentation: executable versions of the paper's proof
+// machinery, so the key lemmas can be checked empirically rather than
+// trusted.
+//
+//   - GreedyMatchTrajectory records |M^(i)| after every step of GreedyMatch,
+//     the quantity Lemma 3.2 bounds from below.
+//   - HypotheticalPeeling runs the analysis-only process of Section 3.2 on
+//     the whole graph G given an optimal cover O*: level sets O_j (peeled
+//     from O*) and Obar_j (peeled from the complement) with thresholds
+//     n/2^j and n/2^(j+2).
+//   - CheckSandwich verifies Lemma 3.6's containments for one machine:
+//     union of A_j contains the union of O_j, and the union of B_j is
+//     contained in the union of Obar_j (prefix-wise).
+
+// GreedyMatchTrajectory runs GreedyMatch over the coresets in order and
+// returns sizes[i] = |M^(i)| after processing coreset i (sizes[0] = 0).
+// Lemma 3.2: while |M^(i-1)| <= c*MM(G), each step adds at least
+// ((1-6c-o(1))/k)*MM(G) edges w.h.p., for the first k/3 steps.
+func GreedyMatchTrajectory(n int, coresets [][]graph.Edge) []int {
+	m := matching.NewEmpty(n)
+	sizes := make([]int, 0, len(coresets)+1)
+	sizes = append(sizes, 0)
+	for _, cs := range coresets {
+		m.AugmentGreedily(cs)
+		sizes = append(sizes, m.Size())
+	}
+	return sizes
+}
+
+// PeelingLevels is the output of the hypothetical process: per iteration j
+// (1-based), the vertices peeled from O* (Opt) and from its complement
+// (Bar).
+type PeelingLevels struct {
+	Opt [][]graph.ID // O_j: vertices of O* with degree >= n/2^j in G_j
+	Bar [][]graph.ID // Obar_j: complement vertices with degree >= n/2^(j+2)
+}
+
+// HypotheticalPeeling runs the Section 3.2 analysis process on G(n, edges)
+// with optimal cover O* (inOpt[v] reports membership). Step 1 removes the
+// edges inside the complement of O* (G_1 is bipartite between O* and its
+// complement); then for j = 1..ceil(log2 n), level sets are peeled with the
+// two thresholds.
+func HypotheticalPeeling(n int, edges []graph.Edge, inOpt []bool) *PeelingLevels {
+	// G1: drop edges entirely inside the complement of O*.
+	g1 := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		if inOpt[e.U] || inOpt[e.V] {
+			g1 = append(g1, e)
+		}
+	}
+	res := graph.NewResidual(n, g1)
+	levels := &PeelingLevels{}
+	t := int(math.Ceil(math.Log2(float64(n))))
+	if t < 1 {
+		t = 1
+	}
+	for j := 1; j <= t; j++ {
+		thrOpt := float64(n) / math.Pow(2, float64(j))
+		thrBar := float64(n) / math.Pow(2, float64(j+2))
+		var oj, bj []graph.ID
+		// Select both level sets against the *current* graph G_j before
+		// removing anything, exactly as the paper's process does.
+		for v := 0; v < n; v++ {
+			d := float64(res.Degree(graph.ID(v)))
+			if d <= 0 {
+				continue
+			}
+			if inOpt[v] && d >= thrOpt {
+				oj = append(oj, graph.ID(v))
+			}
+			if !inOpt[v] && d >= thrBar {
+				bj = append(bj, graph.ID(v))
+			}
+		}
+		for _, v := range oj {
+			res.Remove(v)
+		}
+		for _, v := range bj {
+			res.Remove(v)
+		}
+		levels.Opt = append(levels.Opt, oj)
+		levels.Bar = append(levels.Bar, bj)
+	}
+	return levels
+}
+
+// SandwichReport summarizes a Lemma 3.6 check for one machine.
+type SandwichReport struct {
+	// PrefixOK[t] reports whether BOTH containments hold for prefix t+1:
+	// union_{j<=t+1} A_j ⊇ union O_j and union B_j ⊆ union Obar_j, where
+	// the machine levels are truncated/extended to align lengths.
+	PrefixOK []bool
+	// Holds is true when every prefix check passed.
+	Holds bool
+}
+
+// CheckSandwich verifies Lemma 3.6 for one machine's VC-Coreset levels
+// against the hypothetical process levels: A_j = V_j ∩ O*, B_j = V_j \ O*.
+// The lemma's statement is prefix-wise; machine iterations beyond the
+// hypothetical process's depth compare against its final unions.
+func CheckSandwich(machineLevels [][]graph.ID, hyp *PeelingLevels, inOpt []bool) *SandwichReport {
+	unionOpt := map[graph.ID]bool{} // union of O_j so far
+	unionBar := map[graph.ID]bool{} // union of Obar_j so far
+	unionA := map[graph.ID]bool{}   // union of A_j so far
+	unionB := map[graph.ID]bool{}   // union of B_j so far
+	fullBar := map[graph.ID]bool{}  // union of ALL Obar_j (lemma t = Delta)
+	for _, level := range hyp.Bar {
+		for _, v := range level {
+			fullBar[v] = true
+		}
+	}
+	rep := &SandwichReport{Holds: true}
+	depth := len(machineLevels)
+	for t := 0; t < depth; t++ {
+		if t < len(hyp.Opt) {
+			for _, v := range hyp.Opt[t] {
+				unionOpt[v] = true
+			}
+			for _, v := range hyp.Bar[t] {
+				unionBar[v] = true
+			}
+		}
+		for _, v := range machineLevels[t] {
+			if inOpt[v] {
+				unionA[v] = true
+			} else {
+				unionB[v] = true
+			}
+		}
+		ok := true
+		// Containment 1: union A_j ⊇ union O_j.
+		for v := range unionOpt {
+			if !unionA[v] {
+				ok = false
+				break
+			}
+		}
+		// Containment 2: union B_j ⊆ union Obar_j (prefix; at the final
+		// level the paper compares against the full union).
+		if ok {
+			bar := unionBar
+			if t == depth-1 {
+				bar = fullBar
+			}
+			for v := range unionB {
+				if !bar[v] {
+					ok = false
+					break
+				}
+			}
+		}
+		rep.PrefixOK = append(rep.PrefixOK, ok)
+		if !ok {
+			rep.Holds = false
+		}
+	}
+	return rep
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/vcover"
+)
+
+func TestGreedyMatchTrajectoryMonotoneAndConsistent(t *testing.T) {
+	r := rng.New(1)
+	g := gen.GNP(400, 0.03, r)
+	const k = 8
+	parts := partition.RandomK(g.Edges, k, r)
+	coresets := make([][]graph.Edge, k)
+	for i, p := range parts {
+		coresets[i] = MatchingCoreset(g.N, p)
+	}
+	sizes := GreedyMatchTrajectory(g.N, coresets)
+	if len(sizes) != k+1 || sizes[0] != 0 {
+		t.Fatalf("trajectory shape wrong: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatalf("trajectory decreased at %d: %v", i, sizes)
+		}
+	}
+	// Final value = GreedyMatchCombine.
+	if sizes[k] != GreedyMatchCombine(g.N, coresets).Size() {
+		t.Fatal("trajectory endpoint disagrees with combiner")
+	}
+}
+
+// TestLemma32GrowthOnEarlySteps checks the Lemma 3.2 shape: while the
+// matching is small, every one of the first k/3 steps adds a decent chunk
+// of MM(G)/k.
+func TestLemma32GrowthOnEarlySteps(t *testing.T) {
+	r := rng.New(3)
+	g := gen.GNP(3000, 8.0/3000, r)
+	const k = 12
+	opt := matching.Maximum(g.N, g.Edges).Size()
+	parts := partition.RandomK(g.Edges, k, r)
+	coresets := make([][]graph.Edge, k)
+	for i, p := range parts {
+		coresets[i] = MatchingCoreset(g.N, p)
+	}
+	sizes := GreedyMatchTrajectory(g.N, coresets)
+	c := 1.0 / 9
+	for i := 1; i <= k/3; i++ {
+		if float64(sizes[i-1]) > c*float64(opt) {
+			break // Lemma 3.2's precondition no longer holds; done.
+		}
+		inc := sizes[i] - sizes[i-1]
+		// Paper: increment >= (1-6c-o(1))/k * MM. Use half of that as a
+		// stochastic-safe floor.
+		floor := (1 - 6*c) / float64(k) * float64(opt) / 2
+		if float64(inc) < floor {
+			t.Fatalf("step %d increment %d below Lemma 3.2 floor %.1f (opt=%d)", i, inc, floor, opt)
+		}
+	}
+}
+
+func TestHypotheticalPeelingLevelsDisjointAndClassified(t *testing.T) {
+	r := rng.New(5)
+	b := gen.BipartiteGNP(200, 200, 0.05, r)
+	g := b.ToGraph()
+	inOpt := make([]bool, g.N)
+	for _, v := range vcover.KonigCover(b) {
+		inOpt[v] = true
+	}
+	lv := HypotheticalPeeling(g.N, g.Edges, inOpt)
+	seen := map[graph.ID]bool{}
+	for j := range lv.Opt {
+		for _, v := range lv.Opt[j] {
+			if !inOpt[v] {
+				t.Fatalf("O_%d contains non-optimal vertex %d", j+1, v)
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d peeled twice", v)
+			}
+			seen[v] = true
+		}
+		for _, v := range lv.Bar[j] {
+			if inOpt[v] {
+				t.Fatalf("Obar_%d contains optimal vertex %d", j+1, v)
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d peeled twice", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestLemma35BoundOnHypotheticalLevels: the union of O_j and Obar_j is
+// O(log n) * VC(G) (Lemma 3.5; per-level Obar_j <= 8*VC).
+func TestLemma35BoundOnHypotheticalLevels(t *testing.T) {
+	r := rng.New(7)
+	b := gen.BipartiteGNP(300, 300, 0.05, r)
+	g := b.ToGraph()
+	optCover := vcover.KonigCover(b)
+	inOpt := make([]bool, g.N)
+	for _, v := range optCover {
+		inOpt[v] = true
+	}
+	lv := HypotheticalPeeling(g.N, g.Edges, inOpt)
+	total := 0
+	for j := range lv.Opt {
+		total += len(lv.Opt[j])
+		if len(lv.Bar[j]) > 8*len(optCover) {
+			t.Fatalf("level %d: |Obar_j| = %d > 8*VC = %d (Lemma 3.5)",
+				j+1, len(lv.Bar[j]), 8*len(optCover))
+		}
+		total += len(lv.Bar[j])
+	}
+	// Union of O_j's is within O*, so total <= |O*| + t*8|O*|.
+	t.Logf("hypothetical peeling total %d vs VC %d", total, len(optCover))
+}
+
+// TestLemma36Sandwich is the core of Theorem 2's proof: the machine's
+// peeled sets are sandwiched by the hypothetical process w.h.p.
+func TestLemma36Sandwich(t *testing.T) {
+	r := rng.New(11)
+	const n, k = 4096, 4
+	// Dense bipartite graph: peeling actually fires.
+	b := gen.BipartiteGNP(n/2, n/2, 64.0/float64(n), r)
+	g := b.ToGraph()
+	inOpt := make([]bool, g.N)
+	for _, v := range vcover.KonigCover(b) {
+		inOpt[v] = true
+	}
+	hyp := HypotheticalPeeling(g.N, g.Edges, inOpt)
+	parts := partition.RandomK(g.Edges, k, r)
+	okMachines := 0
+	for i, p := range parts {
+		cs := ComputeVCCoreset(g.N, k, p)
+		rep := CheckSandwich(cs.Levels, hyp, inOpt)
+		if rep.Holds {
+			okMachines++
+		} else {
+			t.Logf("machine %d: prefix checks %v", i, rep.PrefixOK)
+		}
+	}
+	// Lemma 3.6 holds w.h.p.; on this seeded instance all machines must
+	// satisfy at least the A ⊇ O direction. We assert a majority rather
+	// than unanimity to stay robust to the o(1) failure probability.
+	if okMachines < k/2 {
+		t.Fatalf("sandwich held on only %d/%d machines", okMachines, k)
+	}
+}
+
+func TestCheckSandwichDetectsViolation(t *testing.T) {
+	inOpt := []bool{true, false, false}
+	hyp := &PeelingLevels{
+		Opt: [][]graph.ID{{0}},
+		Bar: [][]graph.ID{{}},
+	}
+	// Machine never peels vertex 0 -> containment 1 fails.
+	rep := CheckSandwich([][]graph.ID{{}}, hyp, inOpt)
+	if rep.Holds {
+		t.Fatal("missing O_1 vertex not detected")
+	}
+	// Machine peels complement vertex 2 that the process never peels ->
+	// containment 2 fails.
+	hyp2 := &PeelingLevels{Opt: [][]graph.ID{{}}, Bar: [][]graph.ID{{}}}
+	rep2 := CheckSandwich([][]graph.ID{{2}}, hyp2, inOpt)
+	if rep2.Holds {
+		t.Fatal("excess Bar vertex not detected")
+	}
+	// Clean case.
+	rep3 := CheckSandwich([][]graph.ID{{0}}, hyp, inOpt)
+	if !rep3.Holds {
+		t.Fatal("valid sandwich rejected")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/vcover"
+)
+
+// Edge-case and property tests: the pipelines must stay correct (valid
+// matchings, feasible covers) under degenerate inputs — empty graphs, more
+// machines than edges, single vertices, duplicate edges — and under random
+// parameters drawn by testing/quick.
+
+func TestPipelinesOnEmptyGraph(t *testing.T) {
+	g := &graph.Graph{N: 10}
+	m, st := DistributedMatching(g, 4, 0, 1)
+	if m.Size() != 0 {
+		t.Fatal("matching on empty graph")
+	}
+	if st.TotalCommBytes <= 0 {
+		t.Fatal("even empty messages cost bytes (counts)")
+	}
+	cover, _ := DistributedVertexCover(g, 4, 0, 1)
+	if len(cover) != 0 {
+		t.Fatal("cover on empty graph")
+	}
+}
+
+func TestPipelinesWithMoreMachinesThanEdges(t *testing.T) {
+	g := graph.New(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	m, _ := DistributedMatching(g, 64, 0, 2)
+	if err := matching.Verify(g.N, g.Edges, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("matching = %d, want 2 (edges are disjoint)", m.Size())
+	}
+	cover, _ := DistributedVertexCover(g, 64, 0, 2)
+	if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineSingleMachineIsExactMatching(t *testing.T) {
+	// k=1: the coreset IS a maximum matching of G; composition preserves it.
+	r := rng.New(3)
+	g := gen.GNP(300, 0.03, r)
+	opt := matching.Maximum(g.N, g.Edges).Size()
+	m, _ := DistributedMatching(g, 1, 0, 3)
+	if m.Size() != opt {
+		t.Fatalf("k=1 matching %d != opt %d", m.Size(), opt)
+	}
+}
+
+func TestComposeWithDuplicateCoresetEdges(t *testing.T) {
+	// The same edge may appear in several coresets (it exists in only one
+	// partition, but compose must tolerate duplicates in general input).
+	coresets := [][]graph.Edge{
+		{{U: 0, V: 1}, {U: 2, V: 3}},
+		{{U: 0, V: 1}},
+	}
+	m := ComposeMatching(4, coresets)
+	if m.Size() != 2 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	g := GreedyMatchCombine(4, coresets)
+	if g.Size() != 2 {
+		t.Fatalf("greedy size = %d", g.Size())
+	}
+}
+
+func TestVCCoresetFeasibilityProperty(t *testing.T) {
+	// Property: for random (n, p, k), the composed cover is feasible and
+	// the union of residuals plus fixed sets covers G.
+	r := rng.New(5)
+	f := func(nRaw, kRaw, pRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		k := int(kRaw%8) + 1
+		p := float64(pRaw%64) / 255
+		g := gen.GNP(n, p, r)
+		parts := partition.RandomK(g.Edges, k, r)
+		coresets := make([]*VCCoreset, k)
+		for i, part := range parts {
+			coresets[i] = ComputeVCCoreset(n, k, part)
+		}
+		cover := ComposeVC(n, coresets)
+		return vcover.Verify(n, g.Edges, cover) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingCoresetComposeProperty(t *testing.T) {
+	// Property: composition always yields a valid matching no smaller than
+	// any single machine's coreset matching.
+	r := rng.New(7)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%120) + 10
+		k := int(kRaw%6) + 1
+		g := gen.GNP(n, 6/float64(n), r)
+		parts := partition.RandomK(g.Edges, k, r)
+		coresets := make([][]graph.Edge, k)
+		best := 0
+		for i, part := range parts {
+			coresets[i] = MatchingCoreset(n, part)
+			if len(coresets[i]) > best {
+				best = len(coresets[i])
+			}
+		}
+		m := ComposeMatching(n, coresets)
+		if matching.Verify(n, g.Edges, m) != nil {
+			return false
+		}
+		return m.Size() >= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedVCWholeGraphOneGroup(t *testing.T) {
+	// Degenerate grouping: one group containing everything. Every edge is
+	// a self-loop; the cover is the whole vertex set but still feasible.
+	g := graph.New(6, []graph.Edge{{U: 0, V: 1}, {U: 4, V: 5}})
+	cs := GroupedVCCoreset(g.N, 1, 6, g.Edges)
+	cover := ComposeGroupedVC(g.N, 6, []*VCCoreset{cs})
+	if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsampledCoresetNeverInvalid(t *testing.T) {
+	r := rng.New(9)
+	f := func(alphaRaw uint8) bool {
+		alpha := int(alphaRaw%16) + 1
+		g := gen.GNP(80, 0.1, r)
+		cs := SubsampledMatchingCoreset(g.N, g.Edges, alpha, r)
+		// Must be a sub-matching: FromEdges panics on conflicts.
+		defer func() { recover() }()
+		matching.FromEdges(g.N, cs)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedCoresetEmptyPartition(t *testing.T) {
+	cs := ComputeWeightedCoreset(10, nil, 1.0)
+	if WeightedCoresetEdges(cs) != 0 {
+		t.Fatal("empty partition should give empty weighted coreset")
+	}
+	out := ComposeWeightedMatching(10, []*WeightedCoreset{cs})
+	if len(out) != 0 {
+		t.Fatal("composition of empty coresets should be empty")
+	}
+}
+
+func TestAdversarialMaximalCoresetNoHidden(t *testing.T) {
+	// With no hidden edges the adversary degenerates to a maximal matching.
+	r := rng.New(11)
+	g := gen.GNP(60, 0.1, r)
+	cs := AdversarialMaximalCoreset(g.N, g.Edges, func(graph.Edge) bool { return false })
+	m := matching.FromEdges(g.N, cs)
+	if !matching.IsMaximal(g.Edges, m) {
+		t.Fatal("not maximal")
+	}
+}
+
+func TestMinVCCoresetEmptyPartition(t *testing.T) {
+	cs := MinVCCoreset(5, nil)
+	if len(cs.Fixed) != 0 || len(cs.Residual) != 0 {
+		t.Fatal("empty partition should give empty min-VC coreset")
+	}
+}
+
+func TestVCCoresetParallelEdgesMultigraph(t *testing.T) {
+	// Theorem 2 explicitly supports multigraphs (Remark 5.8 relies on it):
+	// parallel edges must not break peeling or composition.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 2}}
+	cs := ComputeVCCoreset(3, 1, edges)
+	cover := ComposeVC(3, []*VCCoreset{cs})
+	if err := vcover.Verify(3, edges, cover); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeelingLevelsAreDisjoint(t *testing.T) {
+	r := rng.New(13)
+	g := gen.GNP(512, 0.2, r) // dense, forces several levels
+	cs := ComputeVCCoreset(g.N, 2, g.Edges)
+	seen := map[graph.ID]bool{}
+	for _, level := range cs.Levels {
+		for _, v := range level {
+			if seen[v] {
+				t.Fatalf("vertex %d peeled twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	// Fixed = union of levels.
+	if len(seen) != len(cs.Fixed) {
+		t.Fatalf("fixed %d != union of levels %d", len(cs.Fixed), len(seen))
+	}
+}
+
+func TestResidualDisjointFromFixed(t *testing.T) {
+	r := rng.New(17)
+	g := gen.GNP(512, 0.15, r)
+	cs := ComputeVCCoreset(g.N, 2, g.Edges)
+	fixed := map[graph.ID]bool{}
+	for _, v := range cs.Fixed {
+		fixed[v] = true
+	}
+	for _, e := range cs.Residual {
+		if fixed[e.U] || fixed[e.V] {
+			t.Fatalf("residual edge %v touches a peeled vertex", e)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// MapParts applies f to every partition concurrently, with at most `workers`
+// goroutines (0 means GOMAXPROCS), and returns the results in partition
+// order. This mirrors the deployment model: one goroutine plays the role of
+// one machine computing its coreset; the coordinator is the caller.
+func MapParts[T any](parts [][]graph.Edge, workers int, f func(i int, part []graph.Edge) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	out := make([]T, len(parts))
+	if workers <= 1 {
+		for i, p := range parts {
+			out[i] = f(i, p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(i, parts[i])
+			}
+		}()
+	}
+	for i := range parts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

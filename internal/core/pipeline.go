@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// PipelineStats reports what a full distributed run cost.
+type PipelineStats struct {
+	K                int   // number of machines
+	PartEdges        []int // edges received by each machine
+	CoresetEdges     []int // edges in each machine's coreset message
+	CoresetFixed     []int // fixed vertices in each machine's message (VC only)
+	TotalCommBytes   int   // sum of encoded message sizes
+	MaxMachineBytes  int   // largest single message
+	CompositionEdges int   // edges the coordinator processed
+}
+
+// DistributedMatching runs the full Theorem 1 pipeline on g: random
+// k-partitioning (seeded), per-machine maximum matchings computed in
+// parallel (one goroutine per machine, capped at `workers`), and an exact
+// composition at the coordinator. Returns the final matching and stats.
+func DistributedMatching(g *graph.Graph, k, workers int, seed uint64) (*matching.Matching, *PipelineStats) {
+	root := rng.New(seed)
+	parts := partition.RandomK(g.Edges, k, root.Split(0))
+	coresets := MapParts(parts, workers, func(i int, part []graph.Edge) []graph.Edge {
+		return MatchingCoreset(g.N, part)
+	})
+	st := &PipelineStats{K: k}
+	for i, p := range parts {
+		st.PartEdges = append(st.PartEdges, len(p))
+		b := CoresetSizeBytes(coresets[i])
+		st.TotalCommBytes += b
+		if b > st.MaxMachineBytes {
+			st.MaxMachineBytes = b
+		}
+		st.CoresetEdges = append(st.CoresetEdges, len(coresets[i]))
+		st.CompositionEdges += len(coresets[i])
+	}
+	return ComposeMatching(g.N, coresets), st
+}
+
+// DistributedVertexCover runs the full Theorem 2 pipeline on g and returns
+// the final cover and stats.
+func DistributedVertexCover(g *graph.Graph, k, workers int, seed uint64) ([]graph.ID, *PipelineStats) {
+	root := rng.New(seed)
+	parts := partition.RandomK(g.Edges, k, root.Split(0))
+	coresets := MapParts(parts, workers, func(i int, part []graph.Edge) *VCCoreset {
+		return ComputeVCCoreset(g.N, k, part)
+	})
+	st := &PipelineStats{K: k}
+	for i, p := range parts {
+		st.PartEdges = append(st.PartEdges, len(p))
+		b := VCCoresetSizeBytes(coresets[i])
+		st.TotalCommBytes += b
+		if b > st.MaxMachineBytes {
+			st.MaxMachineBytes = b
+		}
+		st.CoresetEdges = append(st.CoresetEdges, len(coresets[i].Residual))
+		st.CoresetFixed = append(st.CoresetFixed, len(coresets[i].Fixed))
+		st.CompositionEdges += len(coresets[i].Residual)
+	}
+	return ComposeVC(g.N, coresets), st
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/vcover"
+)
+
+// VCCoreset is the vertex-cover coreset of one machine (Theorem 2): a set of
+// vertices fixed directly into the final cover, plus a sparse residual
+// subgraph whose union across machines is covered at composition time.
+type VCCoreset struct {
+	// Fixed is V_cs^(i) = union of the peeled levels: vertices whose
+	// residual degree reached the level threshold. They are added to the
+	// final vertex cover unconditionally.
+	Fixed []graph.ID
+	// Residual is the edge set of G_Delta^(i), the subgraph left after
+	// peeling; the paper bounds it by O(n log n) edges.
+	Residual []graph.Edge
+	// Levels records the peeled set of each iteration j = 1..Delta-1
+	// (diagnostics; Lemma 3.6 sandwiches these sets between the
+	// hypothetical processes O_j / O-bar_j).
+	Levels [][]graph.ID
+}
+
+// PeelingDepth returns Delta: the smallest integer with
+// n/(k*2^Delta) <= 4*log2(n), per the first line of VC-Coreset. All
+// logarithms in the implementation are base 2; the paper's O~ bounds are
+// insensitive to the base.
+func PeelingDepth(n, k int) int {
+	if n < 2 || k < 1 {
+		return 1
+	}
+	limit := 4 * math.Log2(float64(n))
+	delta := 1
+	for float64(n)/(float64(k)*math.Pow(2, float64(delta))) > limit {
+		delta++
+	}
+	return delta
+}
+
+// ComputeVCCoreset runs VC-Coreset (Theorem 2) on one machine's partition.
+// n is the global vertex count and k the number of machines; both enter the
+// peeling thresholds n/(k*2^(j+1)).
+func ComputeVCCoreset(n, k int, part []graph.Edge) *VCCoreset {
+	delta := PeelingDepth(n, k)
+	res := graph.NewResidual(n, part)
+	out := &VCCoreset{}
+	for j := 1; j <= delta-1; j++ {
+		threshold := float64(n) / (float64(k) * math.Pow(2, float64(j+1)))
+		peeled := res.RemoveAtLeast(int(math.Ceil(threshold)))
+		out.Levels = append(out.Levels, peeled)
+		out.Fixed = append(out.Fixed, peeled...)
+	}
+	out.Residual = res.LiveEdges()
+	return out
+}
+
+// ComposeVC combines vertex-cover coresets into a feasible cover of G: the
+// union of the fixed sets, plus a vertex cover of the union of the residual
+// subgraphs. The paper composes with any 2-approximation; we use the
+// maximal-matching 2-approximation by default.
+//
+// Feasibility (as argued after the algorithm in Section 3.2): every edge of
+// G lives in some G(i); there it is either incident on a peeled vertex
+// (covered by that machine's fixed set) or survives into G_Delta^(i)
+// (covered by the residual cover).
+func ComposeVC(n int, coresets []*VCCoreset) []graph.ID {
+	var fixed []graph.ID
+	var residuals [][]graph.Edge
+	for _, cs := range coresets {
+		fixed = append(fixed, cs.Fixed...)
+		residuals = append(residuals, cs.Residual)
+	}
+	union := graph.UnionEdges(residuals...)
+	cover := append(fixed, vcover.FromMatching(n, union)...)
+	return vcover.Dedup(cover)
+}
+
+// ComposeVCGreedy is ComposeVC with the greedy H_n-approximation on the
+// residual union instead of the 2-approximation; experiments use it to show
+// the composition is robust to the choice of the final cover algorithm.
+func ComposeVCGreedy(n int, coresets []*VCCoreset) []graph.ID {
+	var fixed []graph.ID
+	var residuals [][]graph.Edge
+	for _, cs := range coresets {
+		fixed = append(fixed, cs.Fixed...)
+		residuals = append(residuals, cs.Residual)
+	}
+	union := graph.UnionEdges(residuals...)
+	cover := append(fixed, vcover.GreedyDegree(n, union)...)
+	return vcover.Dedup(cover)
+}
+
+// VCCoresetSizeBytes returns the encoded message size of a VC coreset
+// (fixed vertex ids plus residual edges), for communication accounting.
+func VCCoresetSizeBytes(cs *VCCoreset) int {
+	return graph.EncodedIDBytes(cs.Fixed) + graph.EncodedEdgeBytes(cs.Residual)
+}
+
+// VCCoresetSize returns the paper's size measure for a VC coreset: number
+// of residual edges plus number of fixed vertices.
+func VCCoresetSize(cs *VCCoreset) int {
+	return len(cs.Residual) + len(cs.Fixed)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Weighted matching extension (Section 1.1): the Crouch-Stubbs technique
+// partitions edges into geometric weight classes [ (1+eps)^i, (1+eps)^(i+1) )
+// and runs the unweighted machinery per class. The composition processes
+// classes from heaviest to lightest, each time adding a maximum matching of
+// the class's surviving edges among still-free vertices. The paper states
+// this costs a factor-2 loss in approximation (on top of the unweighted
+// coreset's constant) and an O(log n) factor in space.
+
+// WeightedCoreset is one machine's weighted-matching coreset: for each
+// weight class present in the partition, a maximum (cardinality) matching of
+// that class's edges, with the class's representative weight retained.
+type WeightedCoreset struct {
+	// Classes maps class index i -> maximum matching of the class
+	// subgraph, as weighted edges (original weights preserved).
+	Classes map[int][]graph.WEdge
+}
+
+// WeightClassOf returns the geometric class index of weight w under base
+// (1+eps): floor(log_{1+eps} w). Weights must be positive.
+func WeightClassOf(w, eps float64) int {
+	if w <= 0 {
+		panic("core: non-positive edge weight")
+	}
+	return int(math.Floor(math.Log(w) / math.Log(1+eps)))
+}
+
+// SplitWeightClasses buckets weighted edges by class index.
+func SplitWeightClasses(edges []graph.WEdge, eps float64) map[int][]graph.WEdge {
+	if eps <= 0 {
+		panic("core: SplitWeightClasses with eps <= 0")
+	}
+	out := make(map[int][]graph.WEdge)
+	for _, e := range edges {
+		c := WeightClassOf(e.W, eps)
+		out[c] = append(out[c], e)
+	}
+	return out
+}
+
+// ComputeWeightedCoreset builds the per-class coreset of one machine's
+// weighted partition.
+func ComputeWeightedCoreset(n int, part []graph.WEdge, eps float64) *WeightedCoreset {
+	classes := SplitWeightClasses(part, eps)
+	out := &WeightedCoreset{Classes: make(map[int][]graph.WEdge, len(classes))}
+	for c, wedges := range classes {
+		// Maximum cardinality matching within the class; weights within a
+		// class differ by at most (1+eps), so cardinality is the right
+		// objective.
+		um := matching.Maximum(n, graph.StripWeights(wedges))
+		// Map matched (unweighted) edges back to a weighted representative.
+		wByEdge := make(map[graph.Edge]float64, len(wedges))
+		for _, we := range wedges {
+			k := we.Unweighted().Canon()
+			if old, ok := wByEdge[k]; !ok || we.W > old {
+				wByEdge[k] = we.W
+			}
+		}
+		for _, e := range um.Edges() {
+			out.Classes[c] = append(out.Classes[c], graph.WEdge{U: e.U, V: e.V, W: wByEdge[e.Canon()]})
+		}
+	}
+	return out
+}
+
+// ComposeWeightedMatching combines weighted coresets: classes are processed
+// from heaviest to lightest; within a class, a maximum matching of the
+// class's union edges restricted to still-free vertices is added greedily.
+// Returns the selected weighted edges.
+func ComposeWeightedMatching(n int, coresets []*WeightedCoreset) []graph.WEdge {
+	byClass := make(map[int][]graph.WEdge)
+	for _, cs := range coresets {
+		for c, edges := range cs.Classes {
+			byClass[c] = append(byClass[c], edges...)
+		}
+	}
+	classIdx := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classIdx = append(classIdx, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classIdx)))
+
+	taken := matching.NewEmpty(n)
+	var result []graph.WEdge
+	for _, c := range classIdx {
+		// Restrict to edges between free vertices, then match maximally
+		// within the class (maximum matching on the restriction).
+		var freeEdges []graph.WEdge
+		for _, we := range byClass[c] {
+			if !taken.Covers(we.U) && !taken.Covers(we.V) {
+				freeEdges = append(freeEdges, we)
+			}
+		}
+		if len(freeEdges) == 0 {
+			continue
+		}
+		um := matching.Maximum(n, graph.StripWeights(freeEdges))
+		wByEdge := make(map[graph.Edge]float64, len(freeEdges))
+		for _, we := range freeEdges {
+			k := we.Unweighted().Canon()
+			if old, ok := wByEdge[k]; !ok || we.W > old {
+				wByEdge[k] = we.W
+			}
+		}
+		for _, e := range um.Edges() {
+			if taken.Add(e) {
+				result = append(result, graph.WEdge{U: e.U, V: e.V, W: wByEdge[e.Canon()]})
+			}
+		}
+	}
+	return result
+}
+
+// GreedyWeightedMatching is the classical 1/2-approximation for maximum
+// weight matching (sort by weight descending, add greedily). It is the
+// centralized reference against which the distributed weighted pipeline is
+// scored in experiment E11.
+func GreedyWeightedMatching(n int, edges []graph.WEdge) []graph.WEdge {
+	sorted := append([]graph.WEdge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W > sorted[j].W })
+	taken := matching.NewEmpty(n)
+	var out []graph.WEdge
+	for _, we := range sorted {
+		if taken.Add(we.Unweighted().Canon()) {
+			out = append(out, we)
+		}
+	}
+	return out
+}
+
+// WeightedCoresetEdges returns the total number of edges in a weighted
+// coreset (the paper's space measure: O(n log n) per machine).
+func WeightedCoresetEdges(cs *WeightedCoreset) int {
+	total := 0
+	for _, edges := range cs.Classes {
+		total += len(edges)
+	}
+	return total
+}

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	for i, e := range all {
+		var gotID int
+		if _, err := fmt.Sscanf(e.ID, "E%d", &gotID); err != nil {
+			t.Fatalf("bad experiment id %q: %v", e.ID, err)
+		}
+		if gotID != i+1 {
+			t.Fatalf("experiment %d has id %s (sorted order broken)", i, e.ID)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment end-to-end in quick
+// mode. This is the suite's integration test: every experiment must produce
+// at least one non-empty table and must not panic (feasibility violations
+// inside experiments panic by design).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds")
+	}
+	cfg := Config{Seed: 0xC0FFEE, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(cfg)
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q empty", tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, "--") {
+					t.Fatalf("table %q did not render", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic re-runs one representative experiment and
+// compares rendered tables: same seed, same tables.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 42, Quick: true}
+	for _, id := range []string{"E1", "E4", "E7"} {
+		e, _ := Get(id)
+		a := e.Run(cfg)
+		b := e.Run(cfg)
+		for i := range a.Tables {
+			if a.Tables[i].String() != b.Tables[i].String() {
+				t.Fatalf("%s table %d not deterministic", id, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "fmt"
+
+// Bipartite is a bipartite graph with NL left vertices and NR right
+// vertices. Edges store (left, right) indices in their own ranges:
+// e.U in [0, NL) indexes the left side, e.V in [0, NR) the right side.
+//
+// The paper's hard distributions (Sections 4 and 5) and most of its
+// motivating workloads are bipartite, and bipartite instances admit both a
+// fast maximum matching (Hopcroft-Karp) and an exact minimum vertex cover
+// (Konig's theorem), which the test suite uses as ground truth.
+type Bipartite struct {
+	NL, NR int
+	Edges  []Edge
+}
+
+// NewBipartite returns a bipartite graph; edges are (left, right) pairs.
+func NewBipartite(nl, nr int, edges []Edge) *Bipartite {
+	return &Bipartite{NL: nl, NR: nr, Edges: edges}
+}
+
+// N returns the total number of vertices.
+func (b *Bipartite) N() int { return b.NL + b.NR }
+
+// M returns the number of edges.
+func (b *Bipartite) M() int { return len(b.Edges) }
+
+// Validate checks endpoint ranges.
+func (b *Bipartite) Validate() error {
+	if b.NL < 0 || b.NR < 0 {
+		return fmt.Errorf("graph: negative side sizes (%d, %d)", b.NL, b.NR)
+	}
+	for i, e := range b.Edges {
+		if e.U < 0 || int(e.U) >= b.NL {
+			return fmt.Errorf("graph: bipartite edge %d = %v: left endpoint out of [0,%d)", i, e, b.NL)
+		}
+		if e.V < 0 || int(e.V) >= b.NR {
+			return fmt.Errorf("graph: bipartite edge %d = %v: right endpoint out of [0,%d)", i, e, b.NR)
+		}
+	}
+	return nil
+}
+
+// ToGraph converts to a general graph: left vertices keep ids [0, NL), right
+// vertex r becomes NL+r. This is the embedding used whenever a bipartite
+// workload flows into the partition-agnostic coreset pipeline.
+func (b *Bipartite) ToGraph() *Graph {
+	edges := make([]Edge, len(b.Edges))
+	for i, e := range b.Edges {
+		edges[i] = Edge{e.U, ID(b.NL) + e.V}
+	}
+	return &Graph{N: b.N(), Edges: edges}
+}
+
+// FromGraphSides reinterprets a general graph as bipartite given a 2-coloring
+// side (as produced by Adj.IsBipartiteWithSides). Vertices with side 0 map to
+// the left, side 1 to the right. It returns the bipartite graph together with
+// the mappings left[i] / right[j] back to original ids.
+func FromGraphSides(n int, edges []Edge, side []int8) (b *Bipartite, left, right []ID) {
+	toLocal := make([]ID, n)
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			toLocal[v] = ID(len(left))
+			left = append(left, ID(v))
+		} else {
+			toLocal[v] = ID(len(right))
+			right = append(right, ID(v))
+		}
+	}
+	be := make([]Edge, len(edges))
+	for i, e := range edges {
+		u, v := e.U, e.V
+		if side[u] != 0 {
+			u, v = v, u
+		}
+		be[i] = Edge{toLocal[u], toLocal[v]}
+	}
+	return NewBipartite(len(left), len(right), be), left, right
+}

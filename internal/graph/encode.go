@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary edge encoding used for honest communication accounting in the
+// simultaneous protocols (internal/protocol). A message is charged the exact
+// number of bytes of its encoding, matching how the paper counts
+// communication in bits (up to the constant-factor slack the paper's O~
+// notation already absorbs).
+//
+// Format: uvarint count, then per edge uvarint(U) followed by uvarint(V).
+// Edges sorted by SortEdges compress well under the delta variant below, but
+// the plain format is used for accounting because protocol messages are not
+// required to be sorted.
+
+// AppendEdges appends the encoding of edges to dst and returns it.
+func AppendEdges(dst []byte, edges []Edge) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
+	for _, e := range edges {
+		dst = binary.AppendUvarint(dst, uint64(uint32(e.U)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(e.V)))
+	}
+	return dst
+}
+
+// EncodeEdges encodes an edge list.
+func EncodeEdges(edges []Edge) []byte {
+	return AppendEdges(make([]byte, 0, 1+5*len(edges)), edges)
+}
+
+// DecodeEdges decodes an edge list produced by EncodeEdges/AppendEdges and
+// returns the remaining bytes.
+func DecodeEdges(data []byte) (edges []Edge, rest []byte, err error) {
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("graph: corrupt edge encoding (count)")
+	}
+	data = data[k:]
+	if count > uint64(len(data)) { // each edge needs >= 2 bytes
+		return nil, nil, fmt.Errorf("graph: corrupt edge encoding (count %d too large)", count)
+	}
+	edges = make([]Edge, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, ku := binary.Uvarint(data)
+		if ku <= 0 {
+			return nil, nil, fmt.Errorf("graph: corrupt edge encoding (edge %d U)", i)
+		}
+		data = data[ku:]
+		v, kv := binary.Uvarint(data)
+		if kv <= 0 {
+			return nil, nil, fmt.Errorf("graph: corrupt edge encoding (edge %d V)", i)
+		}
+		data = data[kv:]
+		edges = append(edges, Edge{ID(uint32(u)), ID(uint32(v))})
+	}
+	return edges, data, nil
+}
+
+// AppendIDs appends the encoding of a vertex-id list (uvarint count followed
+// by uvarint ids). Used for the "fixed solution" part of vertex-cover
+// coreset messages.
+func AppendIDs(dst []byte, ids []ID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, v := range ids {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// EncodeIDs encodes a vertex-id list.
+func EncodeIDs(ids []ID) []byte {
+	return AppendIDs(make([]byte, 0, 1+3*len(ids)), ids)
+}
+
+// DecodeIDs decodes a list produced by EncodeIDs/AppendIDs and returns the
+// remaining bytes.
+func DecodeIDs(data []byte) (ids []ID, rest []byte, err error) {
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("graph: corrupt id encoding (count)")
+	}
+	data = data[k:]
+	if count > uint64(len(data))+1 {
+		return nil, nil, fmt.Errorf("graph: corrupt id encoding (count %d too large)", count)
+	}
+	ids = make([]ID, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, kv := binary.Uvarint(data)
+		if kv <= 0 {
+			return nil, nil, fmt.Errorf("graph: corrupt id encoding (id %d)", i)
+		}
+		data = data[kv:]
+		ids = append(ids, ID(uint32(v)))
+	}
+	return ids, data, nil
+}
+
+// EncodedEdgeBytes returns the exact byte size of EncodeEdges(edges) without
+// materializing the buffer; used on accounting-only paths.
+func EncodedEdgeBytes(edges []Edge) int {
+	n := uvarintLen(uint64(len(edges)))
+	for _, e := range edges {
+		n += uvarintLen(uint64(uint32(e.U))) + uvarintLen(uint64(uint32(e.V)))
+	}
+	return n
+}
+
+// EncodedIDBytes returns the exact byte size of EncodeIDs(ids).
+func EncodedIDBytes(ids []ID) int {
+	n := uvarintLen(uint64(len(ids)))
+	for _, v := range ids {
+		n += uvarintLen(uint64(uint32(v)))
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

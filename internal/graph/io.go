@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text edge-list format, compatible with the common "SNAP-like" layout:
+//
+//	# comment lines start with '#' or '%'
+//	p <n> <m>        (optional header; n inferred from edges if absent)
+//	u v              (one edge per line, 0-based vertex ids)
+//
+// The cmd/coreset tool reads and writes this format.
+
+// WriteEdgeList writes g in the text format above, with a header line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format above. If no header is present, N is
+// set to 1 + the maximum vertex id seen (0 for an empty input).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		n        = -1
+		edges    []Edge
+		maxID    = ID(-1)
+		lineNo   int
+		declared = -1
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		if strings.HasPrefix(line, "p ") {
+			if _, err := fmt.Sscanf(line, "p %d %d", &n, &declared); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad header %q: %v", lineNo, line, err)
+			}
+			if n < 0 || declared < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative sizes in header %q", lineNo, line)
+			}
+			edges = make([]Edge, 0, declared)
+			continue
+		}
+		var u, v int64
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q: %v", lineNo, line, err)
+		}
+		if u < 0 || v < 0 || u > 1<<31-1 || v > 1<<31-1 {
+			return nil, fmt.Errorf("graph: line %d: vertex id out of range in %q", lineNo, line)
+		}
+		e := Edge{ID(u), ID(v)}.Canon()
+		if e.V > maxID {
+			maxID = e.V
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxID) + 1
+	}
+	g := &Graph{N: n, Edges: edges}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != len(edges) {
+		return nil, fmt.Errorf("graph: header declared %d edges, found %d", declared, len(edges))
+	}
+	return g, nil
+}

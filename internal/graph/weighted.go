@@ -1,0 +1,44 @@
+package graph
+
+// WEdge is an undirected weighted edge. The weighted matching extension
+// (Crouch-Stubbs grouping, Section 1.1 of the paper) partitions WEdges into
+// geometric weight classes and runs the unweighted coreset per class.
+type WEdge struct {
+	U, V ID
+	W    float64
+}
+
+// Canon returns the weighted edge with endpoints in non-decreasing order.
+func (e WEdge) Canon() WEdge {
+	if e.U > e.V {
+		return WEdge{e.V, e.U, e.W}
+	}
+	return e
+}
+
+// Unweighted drops the weight.
+func (e WEdge) Unweighted() Edge { return Edge{e.U, e.V} }
+
+// WGraph is an undirected weighted graph on vertices 0..N-1.
+type WGraph struct {
+	N     int
+	Edges []WEdge
+}
+
+// TotalWeight sums the weights of a weighted edge set.
+func TotalWeight(edges []WEdge) float64 {
+	s := 0.0
+	for _, e := range edges {
+		s += e.W
+	}
+	return s
+}
+
+// StripWeights converts a weighted edge list to an unweighted one.
+func StripWeights(edges []WEdge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = e.Unweighted()
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package kernel implements exact composable coresets for the small-optimum
+// regime, reproducing the paper's footnote 3: "Otherwise [when
+// VC(G) = O(k log n)], we can use the algorithm of [20] to obtain exact
+// coresets of size O~(k²)".
+//
+// The construction is classical Buss kernelization, which composes cleanly
+// under edge partitioning:
+//
+//   - any vertex whose degree (even within a single machine's partition)
+//     exceeds the parameter t must belong to every vertex cover of G of
+//     size <= t, so machines report such vertices as forced;
+//   - after removing forced vertices, a residual graph with more than t²
+//     edges certifies VC(G) > t (max degree <= t, so t vertices cover at
+//     most t² edges), letting machines truncate their messages at t²+1
+//     edges without losing exactness.
+//
+// The composed kernel preserves every vertex cover of size <= t exactly,
+// so running an exact solver on the union of the k kernels (each of size
+// O(t²) = O~(k²) when t = O(k log n)) yields the true optimum.
+package kernel
+
+import (
+	"repro/internal/graph"
+	"repro/internal/vcover"
+)
+
+// VCKernel is one machine's exact coreset for vertex cover with parameter t.
+type VCKernel struct {
+	// Forced vertices have degree > t within this machine's partition, so
+	// they belong to every vertex cover of G of size <= t.
+	Forced []graph.ID
+	// Residual is the partition minus edges covered by Forced, truncated
+	// at t²+1 edges (more than t² residual edges certify VC(G) > t).
+	Residual []graph.Edge
+	// Overflow reports that the residual exceeded t² edges (a proof that
+	// VC(G) > t, in which case the kernel's exactness promise is void and
+	// the caller should fall back to the Theorem 2 coreset).
+	Overflow bool
+	// T is the parameter the kernel was built with.
+	T int
+}
+
+// ComputeVCKernel builds the Buss kernel of one partition with parameter t.
+func ComputeVCKernel(t int, n int, part []graph.Edge) *VCKernel {
+	if t < 0 {
+		panic("kernel: negative parameter")
+	}
+	k := &VCKernel{T: t}
+	res := graph.NewResidual(n, part)
+	// Repeatedly peel vertices of residual degree > t: removal can only
+	// decrease degrees, so one pass per round until fixpoint.
+	for {
+		peeled := res.RemoveAtLeast(t + 1)
+		if len(peeled) == 0 {
+			break
+		}
+		k.Forced = append(k.Forced, peeled...)
+	}
+	live := res.LiveEdges()
+	if len(live) > t*t {
+		k.Overflow = true
+		live = live[:t*t+1]
+	}
+	k.Residual = live
+	return k
+}
+
+// Size returns the paper's size measure: forced vertices plus residual edges.
+func (k *VCKernel) Size() int { return len(k.Forced) + len(k.Residual) }
+
+// ComposeResult is the outcome of combining per-machine kernels.
+type ComposeResult struct {
+	// Cover is the exact minimum vertex cover of G restricted to covers of
+	// size <= t, when Exact is true.
+	Cover []graph.ID
+	// Exact reports whether the composition could certify exactness: no
+	// machine overflowed and the solver proved optimality.
+	Exact bool
+	// LowerBoundExceeded reports that the kernels certify VC(G) > t.
+	LowerBoundExceeded bool
+}
+
+// ComposeVCKernels combines the k kernels: forced vertices are fixed, the
+// residual union is solved exactly with a bounded search tree (feasible
+// because the union has O(k·t²) edges and the remaining budget is small).
+// If any machine overflowed, the composition reports LowerBoundExceeded.
+func ComposeVCKernels(t int, n int, kernels []*VCKernel) *ComposeResult {
+	out := &ComposeResult{}
+	forcedSet := make(map[graph.ID]bool)
+	var residuals [][]graph.Edge
+	for _, k := range kernels {
+		if k.Overflow {
+			out.LowerBoundExceeded = true
+		}
+		for _, v := range k.Forced {
+			forcedSet[v] = true
+		}
+		residuals = append(residuals, k.Residual)
+	}
+	if out.LowerBoundExceeded {
+		return out
+	}
+	forced := make([]graph.ID, 0, len(forcedSet))
+	for v := range forcedSet {
+		forced = append(forced, v)
+	}
+	if len(forced) > t {
+		// More than t forced vertices already certify VC(G) > t.
+		out.LowerBoundExceeded = true
+		return out
+	}
+	// Remove edges covered by forced vertices; solve the rest exactly with
+	// budget t - |forced|.
+	union := graph.UnionEdges(residuals...)
+	var open []graph.Edge
+	for _, e := range union {
+		if !forcedSet[e.U] && !forcedSet[e.V] {
+			open = append(open, e)
+		}
+	}
+	open = graph.DedupEdges(open)
+	budget := t - len(forced)
+	rest, ok := ExactVCBounded(n, open, budget)
+	if !ok {
+		out.LowerBoundExceeded = true
+		return out
+	}
+	out.Cover = vcover.Dedup(append(forced, rest...))
+	out.Exact = true
+	return out
+}
+
+// ExactVCBounded finds a vertex cover of size <= budget if one exists,
+// using the classic O(2^budget * m) bounded search tree: pick an uncovered
+// edge, branch on which endpoint joins the cover. Returns (cover, true) on
+// success and (nil, false) if no cover of size <= budget exists.
+func ExactVCBounded(n int, edges []graph.Edge, budget int) ([]graph.ID, bool) {
+	inCover := make([]bool, n)
+	var cur []graph.ID
+	var solve func(remaining []graph.Edge, budget int) bool
+	solve = func(remaining []graph.Edge, budget int) bool {
+		// Drop covered edges from the front.
+		for len(remaining) > 0 {
+			e := remaining[0]
+			if inCover[e.U] || inCover[e.V] {
+				remaining = remaining[1:]
+				continue
+			}
+			break
+		}
+		if len(remaining) == 0 {
+			return true
+		}
+		if budget == 0 {
+			return false
+		}
+		e := remaining[0]
+		for _, w := range []graph.ID{e.U, e.V} {
+			inCover[w] = true
+			cur = append(cur, w)
+			if solve(remaining[1:], budget-1) {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+			inCover[w] = false
+		}
+		return false
+	}
+	if !solve(edges, budget) {
+		return nil, false
+	}
+	// Shrink to a minimum cover within the budget by retrying smaller
+	// budgets (the search tree finds *a* cover of size <= budget, not
+	// necessarily minimum).
+	best := append([]graph.ID(nil), cur...)
+	for b := len(best) - 1; b >= 0; b-- {
+		inCover = make([]bool, n)
+		cur = cur[:0]
+		if !solve(edges, b) {
+			break
+		}
+		best = append(best[:0:0], cur...)
+	}
+	return vcover.Dedup(best), true
+}

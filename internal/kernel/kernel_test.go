@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/vcover"
+)
+
+func TestComputeVCKernelForcesHighDegree(t *testing.T) {
+	// Star with 10 leaves, t = 3: the center has degree 10 > 3, forced.
+	star := gen.Star(11)
+	k := ComputeVCKernel(3, star.N, star.Edges)
+	if len(k.Forced) != 1 || k.Forced[0] != 0 {
+		t.Fatalf("Forced = %v, want [0]", k.Forced)
+	}
+	if len(k.Residual) != 0 {
+		t.Fatalf("Residual = %v, want empty", k.Residual)
+	}
+	if k.Overflow {
+		t.Fatal("no overflow expected")
+	}
+}
+
+func TestComputeVCKernelCascade(t *testing.T) {
+	// Two stars sharing leaves: peeling the first center drops the second
+	// center's degree; iteration must reach a fixpoint.
+	// Center 0 -> leaves 2..11; center 1 -> leaves 2..5 (degree 4).
+	var edges []graph.Edge
+	for v := graph.ID(2); v <= 11; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v})
+	}
+	for v := graph.ID(2); v <= 5; v++ {
+		edges = append(edges, graph.Edge{U: 1, V: v})
+	}
+	k := ComputeVCKernel(3, 12, edges)
+	// Center 0 (deg 10) forced; then center 1 still has degree 4 > 3,
+	// forced too.
+	if len(k.Forced) != 2 {
+		t.Fatalf("Forced = %v, want two centers", k.Forced)
+	}
+}
+
+func TestKernelOverflowCertifiesLargeVC(t *testing.T) {
+	// Complete graph K20 with t=2: after forcing (no vertex exceeds t
+	// within... K20 degrees are 19 > 2 so all get forced, leaving nothing).
+	// Instead use a perfect matching of 10 edges with t = 2: no forced
+	// vertices (degrees 1), residual 10 > t² = 4: overflow.
+	var edges []graph.Edge
+	for i := 0; i < 10; i++ {
+		edges = append(edges, graph.Edge{U: graph.ID(2 * i), V: graph.ID(2*i + 1)})
+	}
+	k := ComputeVCKernel(2, 20, edges)
+	if !k.Overflow {
+		t.Fatal("expected overflow: VC of 10 disjoint edges is 10 > 2")
+	}
+	if len(k.Residual) != 2*2+1 {
+		t.Fatalf("truncation wrong: %d edges", len(k.Residual))
+	}
+}
+
+func TestExactVCBoundedKnownInstances(t *testing.T) {
+	tri := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	if _, ok := ExactVCBounded(3, tri, 1); ok {
+		t.Fatal("triangle has no cover of size 1")
+	}
+	cover, ok := ExactVCBounded(3, tri, 2)
+	if !ok || len(cover) != 2 {
+		t.Fatalf("triangle: got %v ok=%v", cover, ok)
+	}
+	if err := vcover.Verify(3, tri, cover); err != nil {
+		t.Fatal(err)
+	}
+	// Empty graph.
+	if cover, ok := ExactVCBounded(3, nil, 0); !ok || len(cover) != 0 {
+		t.Fatalf("empty graph: %v %v", cover, ok)
+	}
+}
+
+func TestExactVCBoundedMatchesOracle(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(12) + 2
+		var edges []graph.Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bernoulli(0.3) {
+					edges = append(edges, graph.Edge{U: graph.ID(u), V: graph.ID(v)})
+				}
+			}
+		}
+		opt := vcover.ExactSmall(n, edges)
+		got, ok := ExactVCBounded(n, edges, len(opt))
+		if !ok {
+			t.Fatalf("trial %d: solver failed at budget=opt=%d", trial, len(opt))
+		}
+		if len(got) != len(opt) {
+			t.Fatalf("trial %d: got %d, opt %d", trial, len(got), len(opt))
+		}
+		if err := vcover.Verify(n, edges, got); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ExactVCBounded(n, edges, len(opt)-1); ok && len(opt) > 0 {
+			t.Fatalf("trial %d: found cover below optimum", trial)
+		}
+	}
+}
+
+// TestKernelCompositionExact is the footnote-3 reproduction: on instances
+// with small vertex cover, composing per-machine Buss kernels yields the
+// EXACT optimum, with per-machine messages of size O(t²).
+func TestKernelCompositionExact(t *testing.T) {
+	r := rng.New(7)
+	const k = 6
+	for trial := 0; trial < 30; trial++ {
+		// Planted small-VC instance: a few centers plus random edges from
+		// centers to a big leaf set (VC = #centers once degree is high).
+		centers := r.Intn(4) + 1
+		n := 200
+		var edges []graph.Edge
+		for c := 0; c < centers; c++ {
+			for v := centers; v < n; v++ {
+				if r.Bernoulli(0.4) {
+					edges = append(edges, graph.Edge{U: graph.ID(c), V: graph.ID(v)}.Canon())
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		// OPT = centers: the centers cover everything, and a matching of
+		// size `centers` (each center to a private leaf) matches it.
+		if matching.Maximum(n, edges).Size() != centers {
+			continue // improbable degenerate draw
+		}
+		opt := centers
+		tParam := opt + 2
+		parts := partition.RandomK(edges, k, r)
+		kernels := make([]*VCKernel, k)
+		for i, p := range parts {
+			kernels[i] = ComputeVCKernel(tParam, n, p)
+			if s := kernels[i].Size(); s > tParam*tParam+tParam+1+n {
+				t.Fatalf("kernel too large: %d", s)
+			}
+		}
+		res := ComposeVCKernels(tParam, n, kernels)
+		if res.LowerBoundExceeded {
+			t.Fatalf("trial %d: spurious lower-bound claim (opt=%d, t=%d)", trial, opt, tParam)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: composition not exact", trial)
+		}
+		if err := vcover.Verify(n, edges, res.Cover); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Cover) != opt {
+			t.Fatalf("trial %d: composed cover %d != opt %d", trial, len(res.Cover), opt)
+		}
+	}
+}
+
+func TestKernelCompositionDetectsLargeVC(t *testing.T) {
+	// Perfect matching of 50 edges: VC = 50. With t = 5 the kernels must
+	// report the lower bound rather than an undersized cover.
+	var edges []graph.Edge
+	for i := 0; i < 50; i++ {
+		edges = append(edges, graph.Edge{U: graph.ID(2 * i), V: graph.ID(2*i + 1)})
+	}
+	r := rng.New(11)
+	parts := partition.RandomK(edges, 4, r)
+	kernels := make([]*VCKernel, 4)
+	for i, p := range parts {
+		kernels[i] = ComputeVCKernel(5, 100, p)
+	}
+	res := ComposeVCKernels(5, 100, kernels)
+	if !res.LowerBoundExceeded {
+		t.Fatal("composition failed to certify VC > t")
+	}
+}
+
+func TestKernelPanicsOnNegativeT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ComputeVCKernel(-1, 3, nil)
+}
+
+func BenchmarkVCKernel(b *testing.B) {
+	r := rng.New(1)
+	// Small-VC instance at scale.
+	var edges []graph.Edge
+	n := 20000
+	for c := 0; c < 8; c++ {
+		for v := 8; v < n; v++ {
+			if r.Bernoulli(0.2) {
+				edges = append(edges, graph.Edge{U: graph.ID(c), V: graph.ID(v)}.Canon())
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeVCKernel(16, n, edges)
+	}
+}

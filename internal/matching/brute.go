@@ -1,0 +1,56 @@
+package matching
+
+import "repro/internal/graph"
+
+// BruteForceSize computes the exact maximum matching size by dynamic
+// programming over vertex subsets (O(2^n * deg)). It is the ground truth
+// for cross-checking Hopcroft-Karp and the blossom algorithm on small
+// instances; panics if n > 24.
+func BruteForceSize(n int, edges []graph.Edge) int {
+	if n > 24 {
+		panic("matching: BruteForceSize limited to n <= 24")
+	}
+	// adjMask[v] = bitmask of v's neighbors.
+	adjMask := make([]uint32, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adjMask[e.U] |= 1 << uint(e.V)
+		adjMask[e.V] |= 1 << uint(e.U)
+	}
+	memo := make([]int8, 1<<uint(n))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var solve func(mask uint32) int8
+	solve = func(mask uint32) int8 {
+		if mask == 0 {
+			return 0
+		}
+		if memo[mask] != -1 {
+			return memo[mask]
+		}
+		// Lowest set bit: either leave it unmatched or match it.
+		v := 0
+		for mask&(1<<uint(v)) == 0 {
+			v++
+		}
+		rest := mask &^ (1 << uint(v))
+		best := solve(rest)
+		nbrs := adjMask[v] & rest
+		for nbrs != 0 {
+			w := 0
+			for nbrs&(1<<uint(w)) == 0 {
+				w++
+			}
+			nbrs &^= 1 << uint(w)
+			if cand := 1 + solve(rest&^(1<<uint(w))); cand > best {
+				best = cand
+			}
+		}
+		memo[mask] = best
+		return best
+	}
+	return int(solve(uint32(1)<<uint(n) - 1))
+}

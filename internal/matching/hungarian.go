@@ -1,0 +1,141 @@
+package matching
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// MaxWeightBipartite computes an exact maximum-weight matching of a
+// bipartite graph with non-negative edge weights using the Hungarian
+// algorithm (Kuhn-Munkres, Jonker-Volgenant style potentials) in O(n³).
+// It maximizes total weight over matchings of any cardinality (vertices may
+// stay unmatched if all their edges have non-positive reduced value, which
+// for non-negative weights means only zero-weight edges are skippable).
+//
+// It is the centralized optimum against which experiment E11 scores the
+// distributed Crouch-Stubbs pipeline; panics on negative weights.
+func MaxWeightBipartite(b *graph.Bipartite, weights []float64) (pairs []graph.WEdge, total float64) {
+	if len(weights) != len(b.Edges) {
+		panic("matching: weights length mismatch")
+	}
+	nl, nr := b.NL, b.NR
+	if nl == 0 || nr == 0 || len(b.Edges) == 0 {
+		return nil, 0
+	}
+	// Dense weight matrix over [n x n] with n = max(nl, nr); missing edges
+	// get weight 0, so an "assignment" may use non-edges at zero gain —
+	// those pairs are filtered from the output. Parallel edges keep the max.
+	n := nl
+	if nr > n {
+		n = nr
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i, e := range b.Edges {
+		if weights[i] < 0 {
+			panic("matching: negative weight")
+		}
+		if weights[i] > w[e.U][e.V] {
+			w[e.U][e.V] = weights[i]
+		}
+	}
+
+	// Hungarian algorithm for the assignment problem (maximization via the
+	// standard potential formulation, 1-indexed internal arrays).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1) // alternating path back-pointers
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				// Cost formulation: maximize w  <=>  minimize -w.
+				cur := -w[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	for j := 1; j <= n; j++ {
+		i := p[j]
+		if i == 0 {
+			continue
+		}
+		l, r := i-1, j-1
+		if l < nl && r < nr && w[l][r] > 0 {
+			pairs = append(pairs, graph.WEdge{U: graph.ID(l), V: graph.ID(r), W: w[l][r]})
+			total += w[l][r]
+		}
+	}
+	return pairs, total
+}
+
+// BruteForceMaxWeight computes the exact maximum-weight matching of a
+// general weighted graph by exhaustive search over edge subsets with
+// branch-and-bound; test oracle only (panics if more than 24 edges).
+func BruteForceMaxWeight(n int, edges []graph.WEdge) float64 {
+	if len(edges) > 24 {
+		panic("matching: BruteForceMaxWeight limited to <= 24 edges")
+	}
+	used := make([]bool, n)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == len(edges) {
+			return 0
+		}
+		// Skip edge i.
+		best := rec(i + 1)
+		e := edges[i]
+		if e.U != e.V && !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if cand := e.W + rec(i+1); cand > best {
+				best = cand
+			}
+			used[e.U], used[e.V] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}

@@ -1,0 +1,162 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestMaxWeightBipartiteHandInstances(t *testing.T) {
+	// Two left, two right: diagonal is heavy.
+	b := graph.NewBipartite(2, 2, []graph.Edge{
+		{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 1},
+	})
+	pairs, total := MaxWeightBipartite(b, []float64{5, 1, 1, 5})
+	if total != 10 || len(pairs) != 2 {
+		t.Fatalf("total = %v pairs = %v, want 10 with 2 pairs", total, pairs)
+	}
+	// Anti-diagonal heavy: must flip.
+	_, total2 := MaxWeightBipartite(b, []float64{1, 7, 7, 1})
+	if total2 != 14 {
+		t.Fatalf("total = %v, want 14", total2)
+	}
+	// Heaviest single edge beats two light ones.
+	b3 := graph.NewBipartite(2, 2, []graph.Edge{{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 1}})
+	_, total3 := MaxWeightBipartite(b3, []float64{3, 10, 3})
+	// Options: {0-1:10} alone = 10, or {0-0:3, 1-1:3} = 6.
+	if total3 != 10 {
+		t.Fatalf("total = %v, want 10", total3)
+	}
+}
+
+func TestMaxWeightBipartiteEmpty(t *testing.T) {
+	b := graph.NewBipartite(3, 0, nil)
+	if pairs, total := MaxWeightBipartite(b, nil); total != 0 || pairs != nil {
+		t.Fatal("empty graph should give empty matching")
+	}
+}
+
+func TestMaxWeightBipartiteIsMatching(t *testing.T) {
+	r := rng.New(3)
+	b := graph.NewBipartite(20, 25, nil)
+	var weights []float64
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 25; v++ {
+			if r.Bernoulli(0.2) {
+				b.Edges = append(b.Edges, graph.Edge{U: graph.ID(u), V: graph.ID(v)})
+				weights = append(weights, r.Float64()*10)
+			}
+		}
+	}
+	pairs, total := MaxWeightBipartite(b, weights)
+	seenL := map[graph.ID]bool{}
+	seenR := map[graph.ID]bool{}
+	sum := 0.0
+	valid := map[graph.Edge]bool{}
+	for _, e := range b.Edges {
+		valid[e] = true
+	}
+	for _, p := range pairs {
+		if seenL[p.U] || seenR[p.V] {
+			t.Fatalf("pair %v conflicts", p)
+		}
+		if !valid[graph.Edge{U: p.U, V: p.V}] {
+			t.Fatalf("pair %v is not an edge", p)
+		}
+		seenL[p.U] = true
+		seenR[p.V] = true
+		sum += p.W
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("reported total %v != recomputed %v", total, sum)
+	}
+}
+
+func TestMaxWeightBipartiteAgainstBruteForce(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 150; trial++ {
+		nl := r.Intn(4) + 1
+		nr := r.Intn(4) + 1
+		var edges []graph.Edge
+		var wedges []graph.WEdge
+		var weights []float64
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if r.Bernoulli(0.5) && len(edges) < 12 {
+					w := float64(r.Intn(20))
+					edges = append(edges, graph.Edge{U: graph.ID(u), V: graph.ID(v)})
+					weights = append(weights, w)
+					wedges = append(wedges, graph.WEdge{U: graph.ID(u), V: graph.ID(nl + v), W: w})
+				}
+			}
+		}
+		b := graph.NewBipartite(nl, nr, edges)
+		_, total := MaxWeightBipartite(b, weights)
+		want := BruteForceMaxWeight(nl+nr, wedges)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v, brute %v (nl=%d nr=%d edges=%v w=%v)",
+				trial, total, want, nl, nr, edges, weights)
+		}
+	}
+}
+
+func TestMaxWeightBipartiteParallelEdges(t *testing.T) {
+	// Parallel edges: keep the max weight.
+	b := graph.NewBipartite(1, 1, []graph.Edge{{U: 0, V: 0}, {U: 0, V: 0}})
+	_, total := MaxWeightBipartite(b, []float64{2, 9})
+	if total != 9 {
+		t.Fatalf("total = %v, want 9", total)
+	}
+}
+
+func TestMaxWeightBipartitePanics(t *testing.T) {
+	b := graph.NewBipartite(1, 1, []graph.Edge{{U: 0, V: 0}})
+	for name, f := range map[string]func(){
+		"weights mismatch": func() { MaxWeightBipartite(b, nil) },
+		"negative weight":  func() { MaxWeightBipartite(b, []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBruteForceMaxWeightKnown(t *testing.T) {
+	// Path with weights 1-10-1: best is the middle edge alone? No:
+	// edges (0-1,w=1),(1-2,w=10),(2-3,w=1): {1-2} = 10 vs {0-1, 2-3} = 2.
+	edges := []graph.WEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 10}, {U: 2, V: 3, W: 1}}
+	if got := BruteForceMaxWeight(4, edges); got != 10 {
+		t.Fatalf("got %v, want 10", got)
+	}
+	// Same but middle is light: take the ends.
+	edges2 := []graph.WEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 5}}
+	if got := BruteForceMaxWeight(4, edges2); got != 10 {
+		t.Fatalf("got %v, want 10", got)
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	r := rng.New(1)
+	const nl, nr = 200, 200
+	bg := graph.NewBipartite(nl, nr, nil)
+	var weights []float64
+	for u := 0; u < nl; u++ {
+		for v := 0; v < nr; v++ {
+			if r.Bernoulli(0.1) {
+				bg.Edges = append(bg.Edges, graph.Edge{U: graph.ID(u), V: graph.ID(v)})
+				weights = append(weights, r.Float64()*100)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightBipartite(bg, weights)
+	}
+}

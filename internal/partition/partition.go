@@ -1,0 +1,230 @@
+// Package partition implements edge partitioning schemes for the
+// simultaneous / coordinator model.
+//
+// The paper's central object is the random k-partitioning (its Definition in
+// Section 1): every edge of G is assigned independently and uniformly at
+// random to one of k machines. The package also provides adversarial
+// partitioners used to reproduce the paper's motivating contrast (Section 1,
+// Experiment E10): with adversarial partitioning, matching and vertex cover
+// need Ω~(n^2)-size summaries, while random partitioning admits O~(n)-size
+// coresets.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RandomK assigns each edge independently and uniformly to one of k parts —
+// the paper's random k-partitioning. The union of the parts is exactly the
+// input edge multiset; the input slice is not modified. Panics if k <= 0.
+func RandomK(edges []graph.Edge, k int, r *rng.RNG) [][]graph.Edge {
+	if k <= 0 {
+		panic("partition: RandomK with k <= 0")
+	}
+	parts := make([][]graph.Edge, k)
+	// Pre-size parts to the expected load to avoid repeated growth.
+	expect := len(edges)/k + 1
+	for i := range parts {
+		parts[i] = make([]graph.Edge, 0, expect+expect/4)
+	}
+	for _, e := range edges {
+		i := r.Intn(k)
+		parts[i] = append(parts[i], e)
+	}
+	return parts
+}
+
+// Assignment returns the machine index for every edge under a random
+// k-partitioning, without materializing the parts. Used by experiments that
+// need to know where a distinguished edge (e.g. e* in D_VC) landed.
+func Assignment(m, k int, r *rng.RNG) []int {
+	if k <= 0 {
+		panic("partition: Assignment with k <= 0")
+	}
+	a := make([]int, m)
+	for i := range a {
+		a[i] = r.Intn(k)
+	}
+	return a
+}
+
+// ByAssignment materializes parts from an explicit assignment vector.
+func ByAssignment(edges []graph.Edge, k int, assign []int) [][]graph.Edge {
+	if len(assign) != len(edges) {
+		panic("partition: assignment length mismatch")
+	}
+	parts := make([][]graph.Edge, k)
+	for i, e := range edges {
+		parts[assign[i]] = append(parts[assign[i]], e)
+	}
+	return parts
+}
+
+// Adversarial strategies. Each returns a k-partitioning designed to defeat
+// summary-based protocols, illustrating why the paper's random-partition
+// assumption is essential.
+
+// AdversarialChunks splits the edge list into k contiguous chunks in input
+// order. When the generator emits edges with locality (e.g. sorted by left
+// endpoint), each machine sees a vertex-local subgraph.
+func AdversarialChunks(edges []graph.Edge, k int) [][]graph.Edge {
+	if k <= 0 {
+		panic("partition: AdversarialChunks with k <= 0")
+	}
+	parts := make([][]graph.Edge, k)
+	for i := range parts {
+		lo := i * len(edges) / k
+		hi := (i + 1) * len(edges) / k
+		parts[i] = append([]graph.Edge(nil), edges[lo:hi]...)
+	}
+	return parts
+}
+
+// AdversarialByVertex routes all edges incident to the same lower endpoint
+// to the same machine (round-robin over distinct endpoints after sorting).
+// Each machine receives a union of full vertex neighborhoods: a classic
+// worst case for matching coresets because machine-local maximum matchings
+// can be forced to reuse the same few right vertices.
+func AdversarialByVertex(edges []graph.Edge, k int) [][]graph.Edge {
+	if k <= 0 {
+		panic("partition: AdversarialByVertex with k <= 0")
+	}
+	sorted := append([]graph.Edge(nil), edges...)
+	graph.SortEdges(sorted)
+	parts := make([][]graph.Edge, k)
+	for _, e := range sorted {
+		i := int(e.U) % k
+		parts[i] = append(parts[i], e)
+	}
+	return parts
+}
+
+// AdversarialMatchingHiding spreads every vertex's incident edges across as
+// many machines as possible: edges incident to a vertex v are dealt to
+// machines (v + j) mod k in rotation. Each machine then sees a near-regular
+// sparse slice of every neighborhood, so a machine-local maximum matching
+// carries almost no information about which edges are globally critical.
+func AdversarialMatchingHiding(edges []graph.Edge, k int) [][]graph.Edge {
+	if k <= 0 {
+		panic("partition: AdversarialMatchingHiding with k <= 0")
+	}
+	sorted := append([]graph.Edge(nil), edges...)
+	graph.SortEdges(sorted)
+	parts := make([][]graph.Edge, k)
+	rot := map[graph.ID]int{}
+	for _, e := range sorted {
+		i := (int(e.U) + rot[e.U]) % k
+		rot[e.U]++
+		parts[i] = append(parts[i], e)
+	}
+	return parts
+}
+
+// Verify checks that parts form an exact multiset partition of edges:
+// every input edge appears in exactly one part, and no part contains an
+// edge that was not in the input. Returns true iff the partition is valid.
+func Verify(edges []graph.Edge, parts [][]graph.Edge) bool {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(edges) {
+		return false
+	}
+	count := func(es []graph.Edge) map[graph.Edge]int {
+		m := make(map[graph.Edge]int, len(es))
+		for _, e := range es {
+			m[e.Canon()]++
+		}
+		return m
+	}
+	want := count(edges)
+	got := make(map[graph.Edge]int)
+	for _, p := range parts {
+		for _, e := range p {
+			got[e.Canon()]++
+		}
+	}
+	if len(want) != len(got) {
+		return false
+	}
+	for e, c := range want {
+		if got[e] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadStats returns the min, max and mean part sizes — used by tests to
+// check the balance properties that the paper's Chernoff arguments rely on.
+func LoadStats(parts [][]graph.Edge) (min, max int, mean float64) {
+	if len(parts) == 0 {
+		return 0, 0, 0
+	}
+	min = len(parts[0])
+	total := 0
+	for _, p := range parts {
+		if len(p) < min {
+			min = len(p)
+		}
+		if len(p) > max {
+			max = len(p)
+		}
+		total += len(p)
+	}
+	return min, max, float64(total) / float64(len(parts))
+}
+
+// SplitMatchingAcross reports, for each part, how many edges of the given
+// matching (an edge set) landed in it. This measures |M*_{<i}|-style
+// quantities from Claim 3.3.
+func SplitMatchingAcross(parts [][]graph.Edge, matching []graph.Edge) []int {
+	in := make(map[graph.Edge]bool, len(matching))
+	for _, e := range matching {
+		in[e.Canon()] = true
+	}
+	counts := make([]int, len(parts))
+	for i, p := range parts {
+		for _, e := range p {
+			if in[e.Canon()] {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// Names of the adversarial strategies, for experiment tables.
+const (
+	StrategyRandom         = "random"
+	StrategyChunks         = "chunks"
+	StrategyByVertex       = "by-vertex"
+	StrategyMatchingHiding = "matching-hiding"
+)
+
+// ByName partitions edges with the named strategy. Random uses r; the
+// adversarial strategies are deterministic. Unknown names panic.
+func ByName(name string, edges []graph.Edge, k int, r *rng.RNG) [][]graph.Edge {
+	switch name {
+	case StrategyRandom:
+		return RandomK(edges, k, r)
+	case StrategyChunks:
+		return AdversarialChunks(edges, k)
+	case StrategyByVertex:
+		return AdversarialByVertex(edges, k)
+	case StrategyMatchingHiding:
+		return AdversarialMatchingHiding(edges, k)
+	}
+	panic("partition: unknown strategy " + name)
+}
+
+// Strategies lists all partitioning strategies in table order.
+func Strategies() []string {
+	s := []string{StrategyRandom, StrategyChunks, StrategyByVertex, StrategyMatchingHiding}
+	sort.Strings(s[1:]) // keep random first, adversarial alphabetical
+	return s
+}

@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/vcover"
+)
+
+// MatchingCoresetProtocol is the Theorem 1 protocol: each machine sends a
+// maximum matching of its partition (O~(n) bytes); the coordinator outputs a
+// maximum matching of the union. O(1)-approximation, O~(nk) communication.
+type MatchingCoresetProtocol struct{}
+
+// Name implements Protocol.
+func (MatchingCoresetProtocol) Name() string { return "matching-coreset" }
+
+// Summarize implements Protocol.
+func (MatchingCoresetProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	return &Message{Edges: core.MatchingCoreset(n, part)}
+}
+
+// Combine implements Protocol.
+func (MatchingCoresetProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	coresets := make([][]graph.Edge, len(msgs))
+	for i, m := range msgs {
+		coresets[i] = m.Edges
+	}
+	return &Solution{MatchingEdges: core.ComposeMatching(n, coresets).Edges()}
+}
+
+// SubsampledMatchingProtocol is the Remark 5.2 protocol: maximum matchings
+// subsampled at rate 1/alpha. O(alpha)-approximation, O~(nk/alpha^2)
+// communication — the tight upper bound for Theorem 5.
+type SubsampledMatchingProtocol struct {
+	Alpha int
+}
+
+// Name implements Protocol.
+func (p SubsampledMatchingProtocol) Name() string {
+	return fmt.Sprintf("subsampled-matching(alpha=%d)", p.Alpha)
+}
+
+// Summarize implements Protocol.
+func (p SubsampledMatchingProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	return &Message{Edges: core.SubsampledMatchingCoreset(n, part, p.Alpha, r)}
+}
+
+// Combine implements Protocol.
+func (p SubsampledMatchingProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	coresets := make([][]graph.Edge, len(msgs))
+	for i, m := range msgs {
+		coresets[i] = m.Edges
+	}
+	return &Solution{MatchingEdges: core.ComposeMatching(n, coresets).Edges()}
+}
+
+// GreedyMaximalProtocol is the negative baseline: each machine sends an
+// arbitrary (greedy, input-order) maximal matching. The paper shows this is
+// only an Ω(k)-approximate coreset in the worst case.
+type GreedyMaximalProtocol struct{}
+
+// Name implements Protocol.
+func (GreedyMaximalProtocol) Name() string { return "greedy-maximal" }
+
+// Summarize implements Protocol.
+func (GreedyMaximalProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	return &Message{Edges: core.MaximalMatchingCoreset(n, part)}
+}
+
+// Combine implements Protocol.
+func (GreedyMaximalProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	coresets := make([][]graph.Edge, len(msgs))
+	for i, m := range msgs {
+		coresets[i] = m.Edges
+	}
+	return &Solution{MatchingEdges: core.ComposeMatching(n, coresets).Edges()}
+}
+
+// VCCoresetProtocol is the Theorem 2 protocol: each machine peels and sends
+// (fixed vertices, residual edges); the coordinator adds a 2-approximate
+// cover of the residual union. O(log n)-approximation, O~(nk) communication.
+type VCCoresetProtocol struct{}
+
+// Name implements Protocol.
+func (VCCoresetProtocol) Name() string { return "vc-coreset" }
+
+// Summarize implements Protocol.
+func (VCCoresetProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	cs := core.ComputeVCCoreset(n, k, part)
+	return &Message{Fixed: cs.Fixed, Edges: cs.Residual}
+}
+
+// Combine implements Protocol.
+func (VCCoresetProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	coresets := make([]*core.VCCoreset, len(msgs))
+	for i, m := range msgs {
+		coresets[i] = &core.VCCoreset{Fixed: m.Fixed, Residual: m.Edges}
+	}
+	return &Solution{Cover: core.ComposeVC(n, coresets)}
+}
+
+// GroupedVCProtocol is the Remark 5.8 protocol: vertices are grouped into
+// groups of size Θ(alpha/log n) consistently across machines, VC-Coreset
+// runs on the contracted multigraph, and the coordinator expands groups.
+// O(alpha)-approximation, O~(nk/alpha) communication — the tight upper
+// bound for Theorem 6.
+type GroupedVCProtocol struct {
+	Alpha int
+}
+
+// Name implements Protocol.
+func (p GroupedVCProtocol) Name() string {
+	return fmt.Sprintf("grouped-vc(alpha=%d)", p.Alpha)
+}
+
+// Summarize implements Protocol.
+func (p GroupedVCProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	gs := core.GroupSizeFor(n, p.Alpha)
+	cs := core.GroupedVCCoreset(n, k, gs, part)
+	return &Message{Fixed: cs.Fixed, Edges: cs.Residual}
+}
+
+// Combine implements Protocol.
+func (p GroupedVCProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	gs := core.GroupSizeFor(n, p.Alpha)
+	coresets := make([]*core.VCCoreset, len(msgs))
+	for i, m := range msgs {
+		coresets[i] = &core.VCCoreset{Fixed: m.Fixed, Residual: m.Edges}
+	}
+	return &Solution{Cover: core.ComposeGroupedVC(n, gs, coresets)}
+}
+
+// MinVCProtocol is the negative vertex-cover baseline of Section 3.2: each
+// machine sends (an adversarially tie-broken) minimum vertex cover of its
+// own partition as fixed vertices with no edges.
+type MinVCProtocol struct{}
+
+// Name implements Protocol.
+func (MinVCProtocol) Name() string { return "min-vc-baseline" }
+
+// Summarize implements Protocol.
+func (MinVCProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	cs := core.MinVCCoreset(n, part)
+	return &Message{Fixed: cs.Fixed}
+}
+
+// Combine implements Protocol.
+func (MinVCProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	var cover []graph.ID
+	for _, m := range msgs {
+		cover = append(cover, m.Fixed...)
+	}
+	return &Solution{Cover: vcover.Dedup(cover)}
+}
+
+// FullGraphProtocol is the trivial exact protocol: every machine forwards
+// its entire partition. It is the communication ceiling (Θ(m) bytes total)
+// against which coreset savings are reported.
+type FullGraphProtocol struct {
+	// Task selects the coordinator computation: "matching" or "vc".
+	Task string
+}
+
+// Name implements Protocol.
+func (p FullGraphProtocol) Name() string { return "full-graph-" + p.Task }
+
+// Summarize implements Protocol.
+func (FullGraphProtocol) Summarize(n, k, i int, part []graph.Edge, r *rng.RNG) *Message {
+	return &Message{Edges: part}
+}
+
+// Combine implements Protocol.
+func (p FullGraphProtocol) Combine(n, k int, msgs []*Message) *Solution {
+	var all [][]graph.Edge
+	for _, m := range msgs {
+		all = append(all, m.Edges)
+	}
+	union := graph.UnionEdges(all...)
+	switch p.Task {
+	case "vc":
+		return &Solution{Cover: vcover.GreedyDegree(n, union)}
+	default:
+		return &Solution{MatchingEdges: matching.Maximum(n, union).Edges()}
+	}
+}

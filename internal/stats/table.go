@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width table used for experiment output; rendering
+// is deterministic so tables can be diffed across runs.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(pad(h, width[i]))
+	}
+	fmt.Fprintln(w, sb.String())
+	sb.Reset()
+	for i := range t.Headers {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", width[i]))
+	}
+	fmt.Fprintln(w, sb.String())
+	for _, row := range t.Rows {
+		sb.Reset()
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(width) {
+				sb.WriteString(pad(c, width[i]))
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

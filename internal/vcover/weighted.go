@@ -1,0 +1,108 @@
+package vcover
+
+import (
+	"repro/internal/graph"
+)
+
+// Weighted vertex cover substrate: vertices carry non-negative weights and
+// the goal is a minimum-weight cover. Used by the weighted extension of the
+// paper's VC coreset (Section 1.1) and its experiment E15.
+
+// CoverWeight sums the weights of a cover.
+func CoverWeight(cover []graph.ID, w []float64) float64 {
+	total := 0.0
+	for _, v := range cover {
+		total += w[v]
+	}
+	return total
+}
+
+// WeightedLocalRatio is the classical Bar-Yehuda-Even local-ratio
+// 2-approximation for minimum-weight vertex cover: scan the edges; for each
+// uncovered edge pay delta = min(residual weight of endpoints) on both
+// endpoints; vertices whose residual reaches zero join the cover. It is the
+// centralized reference for the distributed weighted pipeline. Panics on
+// negative weights.
+func WeightedLocalRatio(n int, edges []graph.Edge, w []float64) []graph.ID {
+	if len(w) != n {
+		panic("vcover: weight vector length mismatch")
+	}
+	residual := make([]float64, n)
+	for i, x := range w {
+		if x < 0 {
+			panic("vcover: negative vertex weight")
+		}
+		residual[i] = x
+	}
+	inCover := make([]bool, n)
+	var cover []graph.ID
+	take := func(v graph.ID) {
+		if !inCover[v] {
+			inCover[v] = true
+			cover = append(cover, v)
+		}
+	}
+	for _, e := range edges {
+		if e.U == e.V || inCover[e.U] || inCover[e.V] {
+			continue
+		}
+		delta := residual[e.U]
+		if residual[e.V] < delta {
+			delta = residual[e.V]
+		}
+		residual[e.U] -= delta
+		residual[e.V] -= delta
+		if residual[e.U] <= 0 {
+			take(e.U)
+		}
+		if residual[e.V] <= 0 {
+			take(e.V)
+		}
+	}
+	return Dedup(cover)
+}
+
+// ExactWeightedSmall computes a minimum-weight vertex cover by branch and
+// bound; test oracle only (panics if n > 40).
+func ExactWeightedSmall(n int, edges []graph.Edge, w []float64) []graph.ID {
+	if n > 40 {
+		panic("vcover: ExactWeightedSmall limited to n <= 40")
+	}
+	if len(w) != n {
+		panic("vcover: weight vector length mismatch")
+	}
+	dedup := graph.DedupEdges(append([]graph.Edge(nil), edges...))
+	bestCover := WeightedLocalRatio(n, dedup, w)
+	bestCost := CoverWeight(bestCover, w)
+	inCover := make([]bool, n)
+	var cur []graph.ID
+	var rec func(cost float64)
+	rec = func(cost float64) {
+		if cost >= bestCost {
+			return
+		}
+		var pick graph.Edge
+		found := false
+		for _, e := range dedup {
+			if !inCover[e.U] && !inCover[e.V] {
+				pick = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			bestCost = cost
+			bestCover = append(bestCover[:0:0], cur...)
+			return
+		}
+		for _, v := range []graph.ID{pick.U, pick.V} {
+			inCover[v] = true
+			cur = append(cur, v)
+			rec(cost + w[v])
+			cur = cur[:len(cur)-1]
+			inCover[v] = false
+		}
+	}
+	rec(0)
+	return Dedup(bestCover)
+}

@@ -1,0 +1,101 @@
+package vcover
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestWeightedLocalRatioFeasible(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(30) + 2
+		edges := randGraph(r, n, 0.3)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1 + r.Float64()*9
+		}
+		cover := WeightedLocalRatio(n, edges, w)
+		if err := Verify(n, edges, cover); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestWeightedLocalRatioPrefersCheapCenter(t *testing.T) {
+	// Star with cheap center and expensive leaves: local ratio takes the
+	// center (its residual empties first on every edge).
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}
+	w := []float64{1, 100, 100, 100}
+	cover := WeightedLocalRatio(4, edges, w)
+	if len(cover) != 1 || cover[0] != 0 {
+		t.Fatalf("cover = %v, want [0]", cover)
+	}
+}
+
+func TestWeightedLocalRatioIs2Approx(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 80; trial++ {
+		n := r.Intn(12) + 2
+		edges := randGraph(r, n, 0.35)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1 + float64(r.Intn(20))
+		}
+		lr := CoverWeight(WeightedLocalRatio(n, edges, w), w)
+		opt := CoverWeight(ExactWeightedSmall(n, edges, w), w)
+		if lr > 2*opt+1e-9 {
+			t.Fatalf("trial %d: local ratio %v > 2*opt %v", trial, lr, opt)
+		}
+		if lr < opt-1e-9 {
+			t.Fatalf("trial %d: local ratio %v below opt %v (infeasible oracle?)", trial, lr, opt)
+		}
+	}
+}
+
+func TestExactWeightedSmallKnown(t *testing.T) {
+	// Triangle with one heavy vertex: cover must be the two light ones.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	w := []float64{1, 50, 1}
+	cover := ExactWeightedSmall(3, edges, w)
+	if err := Verify(3, edges, cover); err != nil {
+		t.Fatal(err)
+	}
+	if got := CoverWeight(cover, w); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("weight = %v, want 2", got)
+	}
+	// Unweighted behavior when all weights equal.
+	edges2 := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}
+	cover2 := ExactWeightedSmall(4, edges2, []float64{1, 1, 1, 1})
+	if len(cover2) != 1 || cover2[0] != 0 {
+		t.Fatalf("cover = %v, want [0]", cover2)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"len mismatch":    func() { WeightedLocalRatio(3, nil, []float64{1}) },
+		"negative weight": func() { WeightedLocalRatio(1, nil, []float64{-1}) },
+		"oracle too big":  func() { ExactWeightedSmall(41, nil, make([]float64, 41)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCoverWeight(t *testing.T) {
+	if got := CoverWeight([]graph.ID{0, 2}, []float64{1.5, 7, 2.5}); got != 4 {
+		t.Fatalf("CoverWeight = %v", got)
+	}
+	if got := CoverWeight(nil, nil); got != 0 {
+		t.Fatalf("empty CoverWeight = %v", got)
+	}
+}
