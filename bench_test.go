@@ -1,5 +1,6 @@
-// Benchmark harness: one benchmark per experiment (E1..E13, the paper's
-// "tables and figures") plus micro-benchmarks of the hot kernels. Each
+// Benchmark harness: one benchmark per experiment (E1..E19, the paper's
+// "tables and figures" plus the systems experiments) and micro-benchmarks of
+// the hot kernels. Each
 // experiment benchmark executes the same code path as cmd/experiments -quick
 // and reports the headline metric via b.ReportMetric, so
 //
@@ -21,6 +22,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/stream"
 )
 
 // benchExperiment runs a registered experiment end-to-end per iteration.
@@ -57,6 +59,7 @@ func BenchmarkE15WeightedVC(b *testing.B)          { benchExperiment(b, "E15") }
 func BenchmarkE16HVPGame(b *testing.B)             { benchExperiment(b, "E16") }
 func BenchmarkE17GreedyTrajectory(b *testing.B)    { benchExperiment(b, "E17") }
 func BenchmarkE18PeelingSandwich(b *testing.B)     { benchExperiment(b, "E18") }
+func BenchmarkE19StreamVsBatch(b *testing.B)       { benchExperiment(b, "E19") }
 
 // --- kernel micro-benchmarks -------------------------------------------
 
@@ -167,6 +170,53 @@ func BenchmarkMapReduceFiltering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mapreduce.FilteringMatching(g, g.N, uint64(i))
 	}
+}
+
+// BenchmarkStreamPipeline measures the streaming sharded runtime end to end
+// (source -> hash sharder -> k machines -> coordinator) and reports edge
+// throughput.
+func BenchmarkStreamPipeline(b *testing.B) {
+	g := benchGraph(16384, 8, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := stream.Matching(stream.NewGraphSource(g), stream.Config{K: 16, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Size() == 0 {
+			b.Fatal("empty matching")
+		}
+	}
+	b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+}
+
+// BenchmarkStreamVsBatchSharding isolates the sharder: hash routing through
+// the concurrent pipeline vs single-RNG RandomK on a materialized list.
+func BenchmarkStreamVsBatchSharding(b *testing.B) {
+	g := benchGraph(16384, 16, 22)
+	b.Run("hash-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parts, _, err := stream.Shard(stream.NewGraphSource(g), stream.Config{K: 16, Seed: 1})
+			if err != nil || len(parts) != 16 {
+				b.Fatal("shard failed")
+			}
+		}
+		b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	})
+	b.Run("hash-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			partition.HashK(g.Edges, 16, 1)
+		}
+		b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	})
+	b.Run("randomk-batch", func(b *testing.B) {
+		r := rng.New(2)
+		for i := 0; i < b.N; i++ {
+			partition.RandomK(g.Edges, 16, r)
+		}
+		b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	})
 }
 
 // Ablation: per-partition maximum matching via blossom vs Hopcroft-Karp on

@@ -1,21 +1,33 @@
 // Command coreset runs the randomized-composable-coreset pipeline on an
-// edge-list graph: it randomly partitions the edges across k simulated
-// machines, computes per-machine coresets in parallel, composes the final
-// solution and reports quality plus communication cost.
+// edge-list graph: it partitions the edges across k simulated machines,
+// computes per-machine coresets, composes the final solution and reports
+// quality plus communication cost.
 //
 // Usage:
 //
 //	coreset -task matching -k 8 -in graph.txt
 //	coreset -task vc -k 8 -in graph.txt
 //	coreset -task matching -gen gnp -n 10000 -deg 8   (synthetic input)
+//	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
+//
+// The default (batch) mode materializes the graph and partitions it with a
+// single sequential RNG. With -stream the input is never materialized:
+// edges flow from the source through a deterministic hash sharder to k
+// concurrent machine goroutines, each maintaining its coreset incrementally
+// — the shape of a real deployment, where every machine summarizes its share
+// in O(n)-ish space as data arrives. Streaming mode reads files and stdin
+// incrementally and streams the gnp and star generators without ever
+// building the edge list (powerlaw is materialized, then streamed).
 //
 // The input format is one "u v" edge per line, optionally preceded by a
 // header "p <n> <m>"; lines starting with '#' or '%' are comments.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -23,93 +35,197 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/stream"
 	"repro/internal/vcover"
 )
 
 func main() {
-	var (
-		task    = flag.String("task", "matching", "problem: matching | vc")
-		k       = flag.Int("k", 4, "number of machines")
-		in      = flag.String("in", "", "input edge-list file ('-' for stdin)")
-		genName = flag.String("gen", "", "synthetic input: gnp | powerlaw | star")
-		n       = flag.Int("n", 10000, "vertices for -gen")
-		deg     = flag.Float64("deg", 8, "average degree for -gen")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		workers = flag.Int("workers", 0, "max goroutines (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("q", false, "print only the summary line")
-	)
-	flag.Parse()
-
-	g, err := loadGraph(*in, *genName, *n, *deg, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "coreset:", err)
-		os.Exit(1)
-	}
-	if err := g.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "coreset: invalid input:", err)
-		os.Exit(1)
-	}
-	if !*quiet {
-		fmt.Printf("graph: n=%d m=%d, k=%d machines\n", g.N, g.M(), *k)
-	}
-
-	switch *task {
-	case "matching":
-		m, st := core.DistributedMatching(g, *k, *workers, *seed)
-		if err := matching.Verify(g.N, g.Edges, m); err != nil {
-			fmt.Fprintln(os.Stderr, "coreset: internal error:", err)
-			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Printf("coreset edges per machine: %v\n", st.CoresetEdges)
-			fmt.Printf("communication: total %d bytes, max machine %d bytes\n",
-				st.TotalCommBytes, st.MaxMachineBytes)
-		}
-		fmt.Printf("matching: %d edges (distributed, %d machines)\n", m.Size(), *k)
-	case "vc":
-		cover, st := core.DistributedVertexCover(g, *k, *workers, *seed)
-		if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
-			fmt.Fprintln(os.Stderr, "coreset: internal error:", err)
-			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Printf("fixed vertices per machine: %v\n", st.CoresetFixed)
-			fmt.Printf("residual edges per machine: %v\n", st.CoresetEdges)
-			fmt.Printf("communication: total %d bytes, max machine %d bytes\n",
-				st.TotalCommBytes, st.MaxMachineBytes)
-		}
-		fmt.Printf("vertex cover: %d vertices (distributed, %d machines)\n", len(cover), *k)
-	default:
-		fmt.Fprintf(os.Stderr, "coreset: unknown task %q\n", *task)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func loadGraph(in, genName string, n int, deg float64, seed uint64) (*graph.Graph, error) {
+// run is the testable entry point: it parses args, executes, and writes all
+// output to the given writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coreset", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		task      = fs.String("task", "matching", "problem: matching | vc")
+		k         = fs.Int("k", 4, "number of machines")
+		in        = fs.String("in", "", "input edge-list file ('-' for stdin)")
+		genName   = fs.String("gen", "", "synthetic input: gnp | powerlaw | star")
+		n         = fs.Int("n", 10000, "vertices for -gen")
+		deg       = fs.Float64("deg", 8, "average degree for -gen")
+		seed      = fs.Uint64("seed", 1, "root seed")
+		workers   = fs.Int("workers", 0, "max goroutines in batch mode (0 = GOMAXPROCS)")
+		streaming = fs.Bool("stream", false, "use the streaming sharded runtime (never materializes the graph)")
+		batch     = fs.Int("batch", 0, "streaming batch size in edges (0 = default)")
+		quiet     = fs.Bool("q", false, "print only the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *streaming {
+		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *quiet, stdout, stderr)
+	}
+	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *quiet, stdout, stderr)
+}
+
+func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers int, quiet bool, stdout, stderr io.Writer) int {
+	g, err := loadGraph(in, genName, n, deg, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintln(stderr, "coreset: invalid input:", err)
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "graph: n=%d m=%d, k=%d machines\n", g.N, g.M(), k)
+	}
+
+	switch task {
+	case "matching":
+		m, st := core.DistributedMatching(g, k, workers, seed)
+		if err := matching.Verify(g.N, g.Edges, m); err != nil {
+			fmt.Fprintln(stderr, "coreset: internal error:", err)
+			return 1
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
+				st.TotalCommBytes, st.MaxMachineBytes)
+		}
+		fmt.Fprintf(stdout, "matching: %d edges (distributed, %d machines)\n", m.Size(), k)
+	case "vc":
+		cover, st := core.DistributedVertexCover(g, k, workers, seed)
+		if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
+			fmt.Fprintln(stderr, "coreset: internal error:", err)
+			return 1
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
+			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
+				st.TotalCommBytes, st.MaxMachineBytes)
+		}
+		fmt.Fprintf(stdout, "vertex cover: %d vertices (distributed, %d machines)\n", len(cover), k)
+	default:
+		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
+		return 2
+	}
+	return 0
+}
+
+func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch int, quiet bool, stdout, stderr io.Writer) int {
+	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	if closeSrc != nil {
+		defer closeSrc()
+	}
+	cfg := stream.Config{K: k, Seed: seed, BatchSize: batch}
+
+	switch task {
+	case "matching":
+		m, st, err := stream.Matching(src, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if !quiet {
+			printStreamStats(stdout, st)
+			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "live greedy per machine: %v\n", st.Live)
+		}
+		fmt.Fprintf(stdout, "matching: %d edges (streamed, %d machines)\n", m.Size(), k)
+	case "vc":
+		cover, st, err := stream.VertexCover(src, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if !quiet {
+			printStreamStats(stdout, st)
+			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
+			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "stored vs received per machine: %v / %v\n", st.StoredEdges, st.PartEdges)
+		}
+		fmt.Fprintf(stdout, "vertex cover: %d vertices (streamed, %d machines)\n", len(cover), k)
+	default:
+		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
+		return 2
+	}
+	return 0
+}
+
+func printStreamStats(stdout io.Writer, st *stream.Stats) {
+	fmt.Fprintf(stdout, "stream: n=%d, %d edges in %d batches, k=%d machines\n",
+		st.N, st.EdgesTotal, st.Batches, st.K)
+	fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
+		st.TotalCommBytes, st.MaxMachineBytes)
+	fmt.Fprintf(stdout, "throughput: %.0f edges/sec (%.1f ms)\n",
+		st.EdgesPerSec(), float64(st.Duration.Microseconds())/1000)
+}
+
+// openSource builds a streaming edge source from the CLI input flags. The
+// returned close function is non-nil when a file must be closed after the run.
+func openSource(in, genName string, n int, deg float64, seed uint64) (stream.EdgeSource, func() error, error) {
 	if genName != "" {
-		r := rng.New(seed)
 		switch genName {
 		case "gnp":
-			return gen.GNP(n, deg/float64(n), r), nil
-		case "powerlaw":
-			return gen.ChungLu(n, 2.0, n/16+1, r), nil
+			return stream.NewIterSource(n, gen.GNPIter(n, deg/float64(n), rng.New(seed))), nil, nil
 		case "star":
-			return gen.Star(n), nil
+			return stream.NewIterSource(n, gen.StarIter(n)), nil, nil
+		case "powerlaw":
+			g := gen.ChungLu(n, 2.0, n/16+1, rng.New(seed))
+			return stream.NewGraphSource(g), nil, nil
 		default:
-			return nil, fmt.Errorf("unknown generator %q", genName)
+			return nil, nil, fmt.Errorf("unknown generator %q", genName)
 		}
 	}
 	switch in {
 	case "":
-		return nil, fmt.Errorf("need -in FILE or -gen NAME")
+		return nil, nil, fmt.Errorf("need -in FILE or -gen NAME")
 	case "-":
-		return graph.ReadEdgeList(os.Stdin)
+		return stream.NewReaderSource(os.Stdin), nil, nil
 	default:
 		f, err := os.Open(in)
 		if err != nil {
+			return nil, nil, err
+		}
+		return stream.NewReaderSource(f), f.Close, nil
+	}
+}
+
+// loadGraph materializes the same input openSource streams: one dispatch,
+// two consumption modes, so batch and -stream can never drift apart on what
+// a given set of input flags means.
+func loadGraph(in, genName string, n int, deg float64, seed uint64) (*graph.Graph, error) {
+	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if closeSrc != nil {
+		defer closeSrc()
+	}
+	var edges []graph.Edge
+	buf := make([]graph.Edge, 4096)
+	for {
+		c, err := src.Next(buf)
+		edges = append(edges, buf[:c]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return graph.ReadEdgeList(f)
 	}
+	return &graph.Graph{N: src.NumVertices(), Edges: edges}, nil
 }

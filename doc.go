@@ -17,4 +17,20 @@
 // cmd/experiments) that regenerates a measurable table for every formal
 // claim. See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
+//
+// Two runtimes execute the model. The batch pipeline (internal/core)
+// materializes the edge list, partitions it with a single sequential RNG
+// (partition.RandomK) and maps over the parts — the simulator's view. The
+// streaming runtime (internal/stream) is the deployment's view: an
+// EdgeSource streams edges in batches (from a file, stdin or a generator,
+// never holding the full graph), a seeded position-independent hash sharder
+// (partition.HashAssign) routes them to k concurrent machine goroutines,
+// each machine maintains its coreset incrementally (one-pass greedy matching
+// telemetry plus an exact end-of-stream summary for Theorem 1; incremental
+// degree tracking with online level-1 peeling for Theorem 2, which discards
+// already-covered edges mid-stream), and a coordinator composes the final
+// answer. Given the same hash k-partitioning the two runtimes agree bit for
+// bit (internal/stream's parity tests); cmd/coreset selects between them
+// with -stream, examples/streaming_pipeline demonstrates the pipeline, and
+// experiment E19 compares their throughput and quality at fixed k.
 package repro

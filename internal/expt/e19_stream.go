@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E19",
+		Title: "Streaming vs batch coreset runtime (throughput and quality at fixed k)",
+		Paper: "Deployment check: the streaming sharded runtime (internal/stream, hash partitioning, incremental per-machine builders) must reproduce the batch pipeline's quality exactly at fixed k — the coresets are a function of the k-partitioning, not of how it is materialized — while processing edges as a pipeline of concurrent stages.",
+		Run:   runE19,
+	})
+}
+
+func runE19(cfg Config) *Result {
+	n := pick(cfg, 4000, 40000)
+	k := pick(cfg, 8, 16)
+	reps := pick(cfg, 2, 3)
+
+	type workload struct {
+		name string
+		make func(r *rng.RNG) *graph.Graph
+	}
+	workloads := []workload{
+		{"gnp-deg8", func(r *rng.RNG) *graph.Graph { return gen.GNP(n, 8/float64(n), r) }},
+		{"powerlaw", func(r *rng.RNG) *graph.Graph { return gen.ChungLu(n, 2.0, n/16+1, r) }},
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E19: streaming vs batch at k=%d (same hash k-partitioning; quality must be identical, throughput is the trade)", k),
+		"workload", "rep", "task", "batch answer", "stream answer", "equal", "batch Medges/s", "stream Medges/s", "stream comm KB")
+	root := rng.New(cfg.Seed)
+	mismatches := 0
+	for _, wl := range workloads {
+		for rep := 0; rep < reps; rep++ {
+			r := root.Split(uint64(hash2("e19"+wl.name, k, rep)))
+			g := wl.make(r)
+			if g.M() == 0 {
+				continue
+			}
+			hashSeed := r.Uint64()
+
+			// --- Matching: batch pipeline on the hash k-partitioning.
+			t0 := time.Now()
+			parts := partition.HashK(g.Edges, k, hashSeed)
+			coresets := core.MapParts(parts, cfg.Workers, func(i int, part []graph.Edge) []graph.Edge {
+				return core.MatchingCoreset(g.N, part)
+			})
+			batchM := core.ComposeMatching(g.N, coresets).Size()
+			batchDur := time.Since(t0)
+
+			streamM, stM, err := stream.Matching(stream.NewGraphSource(g), stream.Config{K: k, Seed: hashSeed})
+			if err != nil {
+				panic(err) // experiments fail loudly
+			}
+			eq := batchM == streamM.Size()
+			if !eq {
+				mismatches++
+			}
+			tb.AddRow(wl.name, rep, "matching", batchM, streamM.Size(), eq,
+				fmt.Sprintf("%.2f", mEdgesPerSec(g.M(), batchDur)),
+				fmt.Sprintf("%.2f", stM.EdgesPerSec()/1e6),
+				stM.TotalCommBytes/1024)
+
+			// --- Vertex cover: same comparison.
+			t0 = time.Now()
+			vcs := core.MapParts(parts, cfg.Workers, func(i int, part []graph.Edge) *core.VCCoreset {
+				return core.ComputeVCCoreset(g.N, k, part)
+			})
+			batchVC := len(core.ComposeVC(g.N, vcs))
+			batchDur = time.Since(t0)
+
+			streamVC, stV, err := stream.VertexCover(stream.NewGraphSource(g), stream.Config{K: k, Seed: hashSeed})
+			if err != nil {
+				panic(err)
+			}
+			eq = batchVC == len(streamVC)
+			if !eq {
+				mismatches++
+			}
+			tb.AddRow(wl.name, rep, "vc", batchVC, len(streamVC), eq,
+				fmt.Sprintf("%.2f", mEdgesPerSec(g.M(), batchDur)),
+				fmt.Sprintf("%.2f", stV.EdgesPerSec()/1e6),
+				stV.TotalCommBytes/1024)
+		}
+	}
+	notes := []string{
+		"streaming and batch answers are identical by construction: both apply the same per-machine algorithms to the same hash k-partitioning; the runtime changes the resource profile, not the combinatorics",
+		"throughput columns are wall-clock and machine-dependent; the streaming runtime overlaps sharding with per-machine work, the batch path separates the phases",
+	}
+	if mismatches > 0 {
+		notes = append(notes, fmt.Sprintf("PARITY VIOLATION: %d cells differ — the streaming runtime is broken", mismatches))
+	}
+	return &Result{
+		ID:     "E19",
+		Title:  "Streaming vs batch runtime",
+		Tables: []*stats.Table{tb},
+		Notes:  notes,
+	}
+}
+
+func mEdgesPerSec(m int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(m) / d.Seconds() / 1e6
+}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// EdgeIter is a pull iterator over generated edges: Next returns the next
+// edge until the stream is exhausted. Iterators hold O(1) state, so the
+// streaming runtime (internal/stream) can shard synthetic workloads of any
+// size without ever materializing the graph — the regime the paper's
+// per-machine space bounds are about.
+type EdgeIter interface {
+	Next() (graph.Edge, bool)
+}
+
+// GNPIter returns an iterator over the edges of G(n, p) using the same
+// geometric skip-sampling and the same RNG draw sequence as GNP: for any
+// seed, collecting GNPIter(n, p, rng.New(seed)) yields exactly
+// GNP(n, p, rng.New(seed)).Edges. Panics on invalid parameters, like GNP.
+func GNPIter(n int, p float64, r *rng.RNG) EdgeIter {
+	if n < 0 || p < 0 || p > 1 {
+		panic("gen: GNPIter with invalid parameters")
+	}
+	it := &gnpIter{n: n, p: p, r: r}
+	if n < 2 || p == 0 {
+		it.done = true
+		return it
+	}
+	it.total = int64(n) * int64(n-1) / 2
+	it.cur = -1
+	return it
+}
+
+type gnpIter struct {
+	n        int
+	p        float64
+	r        *rng.RNG
+	total    int64
+	cur      int64
+	u        int
+	rowStart int64 // linear index of pair (u, u+1)
+	dv       int   // dense mode: next v for row u
+	done     bool
+}
+
+func (it *gnpIter) Next() (graph.Edge, bool) {
+	if it.done {
+		return graph.Edge{}, false
+	}
+	if it.p >= 1 {
+		// Dense mode: enumerate every pair in GNP's row order.
+		if it.dv <= it.u {
+			it.dv = it.u + 1
+		}
+		if it.dv >= it.n {
+			it.u++
+			if it.u >= it.n-1 {
+				it.done = true
+				return graph.Edge{}, false
+			}
+			it.dv = it.u + 1
+		}
+		e := graph.Edge{U: graph.ID(it.u), V: graph.ID(it.dv)}
+		it.dv++
+		return e, true
+	}
+	it.cur += int64(it.r.Geometric(it.p)) + 1
+	if it.cur >= it.total {
+		it.done = true
+		return graph.Edge{}, false
+	}
+	for it.cur >= it.rowStart+int64(it.n-1-it.u) {
+		it.rowStart += int64(it.n - 1 - it.u)
+		it.u++
+	}
+	v := it.u + 1 + int(it.cur-it.rowStart)
+	return graph.Edge{U: graph.ID(it.u), V: graph.ID(v)}, true
+}
+
+// StarIter returns an iterator over the edges of the star K_{1,n-1} with
+// center 0, in the same order as Star. Panics if n < 1, like Star.
+func StarIter(n int) EdgeIter {
+	if n < 1 {
+		panic("gen: StarIter with n < 1")
+	}
+	return &starIter{n: n, v: 1}
+}
+
+type starIter struct{ n, v int }
+
+func (it *starIter) Next() (graph.Edge, bool) {
+	if it.v >= it.n {
+		return graph.Edge{}, false
+	}
+	e := graph.Edge{U: 0, V: graph.ID(it.v)}
+	it.v++
+	return e, true
+}
+
+// SliceIter returns an iterator over a fixed edge slice, in order.
+func SliceIter(edges []graph.Edge) EdgeIter {
+	return &sliceIter{edges: edges}
+}
+
+type sliceIter struct {
+	edges []graph.Edge
+	pos   int
+}
+
+func (it *sliceIter) Next() (graph.Edge, bool) {
+	if it.pos >= len(it.edges) {
+		return graph.Edge{}, false
+	}
+	e := it.edges[it.pos]
+	it.pos++
+	return e, true
+}
+
+// Collect drains an iterator into a slice (testing and small inputs).
+func Collect(it EdgeIter) []graph.Edge {
+	var out []graph.Edge
+	for {
+		e, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

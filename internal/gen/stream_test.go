@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// GNPIter must replay GNP's draw sequence exactly: same seed, same edges.
+func TestGNPIterMatchesGNP(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		seed uint64
+	}{
+		{500, 8.0 / 500, 1},
+		{500, 8.0 / 500, 2},
+		{100, 0.5, 3},
+		{40, 1, 4}, // dense mode
+		{10, 0, 5}, // empty
+		{1, 0.5, 6},
+		{0, 0.5, 7},
+	}
+	for _, c := range cases {
+		want := GNP(c.n, c.p, rng.New(c.seed)).Edges
+		got := Collect(GNPIter(c.n, c.p, rng.New(c.seed)))
+		if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("n=%d p=%v seed=%d: iter %d edges != batch %d edges", c.n, c.p, c.seed, len(got), len(want))
+		}
+	}
+}
+
+func TestGNPIterExhaustedStaysExhausted(t *testing.T) {
+	it := GNPIter(50, 0.2, rng.New(9))
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator yielded an edge after exhaustion")
+	}
+}
+
+func TestStarIterMatchesStar(t *testing.T) {
+	for _, n := range []int{1, 2, 10} {
+		want := Star(n).Edges
+		got := Collect(StarIter(n))
+		if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("n=%d: star iter differs", n)
+		}
+	}
+}
+
+func TestSliceIter(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}
+	if !reflect.DeepEqual(Collect(SliceIter(edges)), edges) {
+		t.Fatal("slice iter differs")
+	}
+	if got := Collect(SliceIter(nil)); got != nil {
+		t.Fatalf("empty slice iter yielded %v", got)
+	}
+}
+
+func TestGNPIterPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GNPIter(10, 1.5, rng.New(1))
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the edge-list parser with arbitrary input: it
+// must never panic, every accepted graph must validate, and the incremental
+// EdgeListParser must accept exactly the inputs (and produce exactly the
+// edges) that the batch ReadEdgeList does — the parity the streaming runtime
+// relies on.
+func FuzzReadEdgeList(f *testing.F) {
+	for _, seed := range []string{
+		"p 4 2\n0 1\n2 3\n",
+		"# comment\n% other\n0 1\n3 2\n",
+		"p 2\n",
+		"0 x\n",
+		"p 2 1\n0 1\n0 1\n",
+		"p 1 1\n0 5\n",
+		"-1 0\n",
+		"0 0\n",
+		"",
+		"p 0 0\n",
+		"1 2\np 5 1\n",
+		"9999999999 1\n",
+		"p 3 1\n0\t1\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("accepted graph fails validation: %v", verr)
+			}
+		}
+
+		p := NewEdgeListParser(bytes.NewReader(data))
+		var edges []Edge
+		var perr error
+		for {
+			e, nerr := p.Next()
+			if nerr == io.EOF {
+				break
+			}
+			if nerr != nil {
+				perr = nerr
+				break
+			}
+			edges = append(edges, e)
+		}
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("batch err = %v, incremental err = %v", err, perr)
+		}
+		if err == nil {
+			if p.NumVertices() != g.N {
+				t.Fatalf("incremental n = %d, batch n = %d", p.NumVertices(), g.N)
+			}
+			if len(edges) != len(g.Edges) || (len(edges) > 0 && !reflect.DeepEqual(edges, g.Edges)) {
+				t.Fatalf("incremental edges %v != batch edges %v", edges, g.Edges)
+			}
+		}
+	})
+}

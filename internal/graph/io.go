@@ -13,7 +13,11 @@ import (
 //	p <n> <m>        (optional header; n inferred from edges if absent)
 //	u v              (one edge per line, 0-based vertex ids)
 //
-// The cmd/coreset tool reads and writes this format.
+// The cmd/coreset tool reads and writes this format. Parsing is incremental:
+// EdgeListParser yields one edge at a time so the streaming runtime
+// (internal/stream) can shard a graph without ever materializing it, and
+// ReadEdgeList is a thin accumulator on top of the same parser, so batch and
+// streaming consumers accept exactly the same inputs.
 
 // WriteEdgeList writes g in the text format above, with a header line.
 func WriteEdgeList(w io.Writer, g *Graph) error {
@@ -29,59 +33,157 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the text format above. If no header is present, N is
-// set to 1 + the maximum vertex id seen (0 for an empty input).
-func ReadEdgeList(r io.Reader) (*Graph, error) {
+// EdgeListParser incrementally parses the text edge-list format. It validates
+// as it goes — self-loops, out-of-range ids and header mismatches fail on the
+// offending line, never by panicking — and holds O(1) state beyond the
+// scanner buffer, so arbitrarily large graphs can be parsed in a stream.
+//
+// The constructor reads ahead to the first edge (skipping comments and the
+// header), so HasHeader and the header-declared vertex count are known before
+// the first call to Next.
+type EdgeListParser struct {
+	sc       *bufio.Scanner
+	lineNo   int
+	header   bool
+	n        int // header vertex count (valid iff header)
+	declared int // header edge count (valid iff header)
+	count    int // edges returned so far
+	maxID    ID  // largest endpoint seen
+	pending  Edge
+	hasPend  bool
+	err      error // sticky: io.EOF after a clean end, else the parse error
+}
+
+// NewEdgeListParser returns a parser over r. Errors on the first line (and
+// end-of-input) are reported by the first call to Next, not here.
+func NewEdgeListParser(r io.Reader) *EdgeListParser {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	var (
-		n        = -1
-		edges    []Edge
-		maxID    = ID(-1)
-		lineNo   int
-		declared = -1
-	)
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	p := &EdgeListParser{sc: sc, maxID: -1}
+	// Read ahead so header information is available immediately.
+	e, err := p.scan()
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.pending, p.hasPend = e, true
+	return p
+}
+
+// Next returns the next edge, canonicalized, or io.EOF at a clean end of
+// input. Any other error is a parse or read failure; errors are sticky.
+func (p *EdgeListParser) Next() (Edge, error) {
+	if p.hasPend {
+		p.hasPend = false
+		return p.pending, nil
+	}
+	if p.err != nil {
+		return Edge{}, p.err
+	}
+	e, err := p.scan()
+	if err != nil {
+		p.err = err
+		return Edge{}, err
+	}
+	return e, nil
+}
+
+// scan advances to the next edge line.
+func (p *EdgeListParser) scan() (Edge, error) {
+	for p.sc.Scan() {
+		p.lineNo++
+		line := strings.TrimSpace(p.sc.Text())
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
 		}
 		if strings.HasPrefix(line, "p ") {
-			if _, err := fmt.Sscanf(line, "p %d %d", &n, &declared); err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad header %q: %v", lineNo, line, err)
+			if p.header || p.count > 0 {
+				return Edge{}, fmt.Errorf("graph: line %d: unexpected extra header %q", p.lineNo, line)
 			}
-			if n < 0 || declared < 0 {
-				return nil, fmt.Errorf("graph: line %d: negative sizes in header %q", lineNo, line)
+			if _, err := fmt.Sscanf(line, "p %d %d", &p.n, &p.declared); err != nil {
+				return Edge{}, fmt.Errorf("graph: line %d: bad header %q: %v", p.lineNo, line, err)
 			}
-			edges = make([]Edge, 0, declared)
+			if p.n < 0 || p.declared < 0 {
+				return Edge{}, fmt.Errorf("graph: line %d: negative sizes in header %q", p.lineNo, line)
+			}
+			p.header = true
 			continue
 		}
 		var u, v int64
 		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad edge %q: %v", lineNo, line, err)
+			return Edge{}, fmt.Errorf("graph: line %d: bad edge %q: %v", p.lineNo, line, err)
 		}
 		if u < 0 || v < 0 || u > 1<<31-1 || v > 1<<31-1 {
-			return nil, fmt.Errorf("graph: line %d: vertex id out of range in %q", lineNo, line)
+			return Edge{}, fmt.Errorf("graph: line %d: vertex id out of range in %q", p.lineNo, line)
+		}
+		if u == v {
+			return Edge{}, fmt.Errorf("graph: line %d: self-loop %q", p.lineNo, line)
 		}
 		e := Edge{ID(u), ID(v)}.Canon()
-		if e.V > maxID {
-			maxID = e.V
+		if p.header && int(e.V) >= p.n {
+			return Edge{}, fmt.Errorf("graph: line %d: edge %q out of declared range [0,%d)", p.lineNo, line, p.n)
+		}
+		if e.V > p.maxID {
+			p.maxID = e.V
+		}
+		p.count++
+		return e, nil
+	}
+	if err := p.sc.Err(); err != nil {
+		return Edge{}, err
+	}
+	if p.header && p.count != p.declared {
+		return Edge{}, fmt.Errorf("graph: header declared %d edges, found %d", p.declared, p.count)
+	}
+	return Edge{}, io.EOF
+}
+
+// HasHeader reports whether a "p <n> <m>" header was seen; when true,
+// NumVertices is exact before the stream is drained.
+func (p *EdgeListParser) HasHeader() bool { return p.header }
+
+// Declared returns the header's edge count, or -1 without a header.
+func (p *EdgeListParser) Declared() int {
+	if !p.header {
+		return -1
+	}
+	return p.declared
+}
+
+// NumVertices returns the header's vertex count, or 1 + the largest endpoint
+// seen so far (authoritative only once Next has returned io.EOF).
+func (p *EdgeListParser) NumVertices() int {
+	if p.header {
+		return p.n
+	}
+	return int(p.maxID) + 1
+}
+
+// Count returns the number of edges yielded so far.
+func (p *EdgeListParser) Count() int { return p.count }
+
+// ReadEdgeList parses the text format above into a materialized graph. If no
+// header is present, N is set to 1 + the maximum vertex id seen (0 for an
+// empty input).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	p := NewEdgeListParser(r)
+	var edges []Edge
+	if p.HasHeader() {
+		edges = make([]Edge, 0, p.Declared())
+	}
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
 		}
 		edges = append(edges, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if n < 0 {
-		n = int(maxID) + 1
-	}
-	g := &Graph{N: n, Edges: edges}
+	g := &Graph{N: p.NumVertices(), Edges: edges}
 	if err := g.Validate(); err != nil {
 		return nil, err
-	}
-	if declared >= 0 && declared != len(edges) {
-		return nil, fmt.Errorf("graph: header declared %d edges, found %d", declared, len(edges))
 	}
 	return g, nil
 }

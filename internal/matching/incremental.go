@@ -1,0 +1,73 @@
+package matching
+
+import "repro/internal/graph"
+
+// Incremental maintains a maximal matching of a growing edge multiset under
+// one-pass insertions: an arriving edge is matched iff both endpoints are
+// currently free. This is the classic streaming greedy matcher — O(1) work
+// and O(1) extra state per edge, no fixed vertex universe — and its size is
+// always within a factor 2 of the maximum matching of the edges seen so far.
+//
+// The streaming coreset runtime (internal/stream) runs one Incremental per
+// machine as live telemetry while edges arrive; the exact Theorem 1 summary
+// is computed at end-of-stream on the machine's stored partition. Incremental
+// is not safe for concurrent use.
+type Incremental struct {
+	mate map[graph.ID]graph.ID
+	size int
+}
+
+// NewIncremental returns an empty incremental matcher.
+func NewIncremental() *Incremental {
+	return &Incremental{mate: make(map[graph.ID]graph.ID)}
+}
+
+// Add offers edge e to the matching and reports whether it was matched.
+// Self-loops are never matched.
+func (im *Incremental) Add(e graph.Edge) bool {
+	if e.U == e.V {
+		return false
+	}
+	if _, ok := im.mate[e.U]; ok {
+		return false
+	}
+	if _, ok := im.mate[e.V]; ok {
+		return false
+	}
+	im.mate[e.U] = e.V
+	im.mate[e.V] = e.U
+	im.size++
+	return true
+}
+
+// Size returns the current matching size.
+func (im *Incremental) Size() int { return im.size }
+
+// Covers reports whether v is matched.
+func (im *Incremental) Covers(v graph.ID) bool {
+	_, ok := im.mate[v]
+	return ok
+}
+
+// Edges returns the matched edges in canonical form (unspecified order).
+func (im *Incremental) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, im.size)
+	for u, v := range im.mate {
+		if u < v {
+			out = append(out, graph.Edge{U: u, V: v})
+		}
+	}
+	return out
+}
+
+// Matching converts the current state to a fixed-universe *Matching on n
+// vertices. Panics (via index) if a matched endpoint is >= n.
+func (im *Incremental) Matching(n int) *Matching {
+	m := NewEmpty(n)
+	for u, v := range im.mate {
+		if u < v {
+			m.Add(graph.Edge{U: u, V: v})
+		}
+	}
+	return m
+}

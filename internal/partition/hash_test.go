@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestHashKIsPartition(t *testing.T) {
+	r := rng.New(31)
+	f := func(kRaw uint8, mRaw uint16, seed uint64) bool {
+		k := int(kRaw%16) + 1
+		m := int(mRaw % 500)
+		edges := randEdges(r, 100, m)
+		parts := HashK(edges, k, seed)
+		return len(parts) == k && Verify(edges, parts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashAssignDeterministicPerSeed(t *testing.T) {
+	edges := randEdges(rng.New(37), 80, 400)
+	a := HashAssignAll(edges, 9, 123)
+	b := HashAssignAll(edges, 9, 123)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+		if a[i] < 0 || a[i] >= 9 {
+			t.Fatalf("assignment %d out of range", a[i])
+		}
+	}
+}
+
+// The property RandomK cannot offer: the machine of an edge is independent
+// of where the edge sits in the stream, so any concurrent sharding of any
+// reordering reproduces the same k-partitioning.
+func TestHashAssignPositionIndependent(t *testing.T) {
+	r := rng.New(41)
+	edges := randEdges(r, 60, 300)
+	const k, seed = 7, 99
+	want := make(map[graph.Edge]int, len(edges))
+	for _, e := range edges {
+		want[e.Canon()] = HashAssign(e, k, seed)
+	}
+	shuffled := append([]graph.Edge(nil), edges...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, e := range shuffled {
+		if HashAssign(e, k, seed) != want[e.Canon()] {
+			t.Fatal("assignment depends on position")
+		}
+	}
+	// Orientation must not matter either: (u,v) and (v,u) are one edge.
+	for _, e := range edges {
+		if HashAssign(graph.Edge{U: e.V, V: e.U}, k, seed) != want[e.Canon()] {
+			t.Fatal("assignment depends on edge orientation")
+		}
+	}
+}
+
+func TestHashAssignBalance(t *testing.T) {
+	// 20000 distinct edges over k=10 machines: every load within 6 sigma of
+	// the mean, like the RandomK balance test.
+	var edges []graph.Edge
+	for u := graph.ID(0); len(edges) < 20000; u++ {
+		for v := u + 1; v < u+11 && len(edges) < 20000; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	parts := HashK(edges, 10, 7)
+	min, max, mean := LoadStats(parts)
+	sigma := math.Sqrt(20000 * 0.1 * 0.9)
+	if float64(min) < mean-6*sigma || float64(max) > mean+6*sigma {
+		t.Fatalf("unbalanced: min=%d max=%d mean=%v sigma=%v", min, max, mean, sigma)
+	}
+}
+
+func TestHashAssignSeedSensitivity(t *testing.T) {
+	edges := randEdges(rng.New(43), 200, 2000)
+	a := HashAssignAll(edges, 8, 1)
+	b := HashAssignAll(edges, 8, 2)
+	moved := 0
+	for i := range a {
+		if a[i] != b[i] {
+			moved++
+		}
+	}
+	// Under independent uniform choices ~7/8 of edges move; require most do.
+	if moved < len(edges)/2 {
+		t.Fatalf("only %d/%d edges moved between seeds", moved, len(edges))
+	}
+}
+
+func TestHashAssignPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on k <= 0")
+		}
+	}()
+	HashAssign(graph.Edge{U: 0, V: 1}, 0, 1)
+}
+
+// TestRandomKPreservesMultisetWithDuplicates pins the multiset guarantee the
+// ISSUE calls out, on an input with parallel edges (the paper's Theorem 2
+// explicitly supports multigraphs).
+func TestRandomKPreservesMultisetWithDuplicates(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 2}}
+	if !Verify(edges, RandomK(edges, 3, rng.New(5))) {
+		t.Fatal("RandomK dropped or invented parallel edges")
+	}
+	if !Verify(edges, HashK(edges, 3, 5)) {
+		t.Fatal("HashK dropped or invented parallel edges")
+	}
+}

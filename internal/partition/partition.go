@@ -11,6 +11,7 @@
 package partition
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/graph"
@@ -49,6 +50,56 @@ func Assignment(m, k int, r *rng.RNG) []int {
 		a[i] = r.Intn(k)
 	}
 	return a
+}
+
+// mix64 is the splitmix64 finalizer: a bijective mixer with full avalanche,
+// used to turn structured (seed, edge) keys into uniform machine choices.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashAssign returns the machine in [0, k) that edge e is routed to under a
+// seeded hash partitioning. Unlike RandomK, which draws from a single
+// sequential RNG and therefore depends on edge order, HashAssign is a pure
+// function of (seed, canonical endpoints): any number of concurrent sharders
+// can route disjoint slices of the stream and reproduce exactly the same
+// k-partitioning, which is what the streaming runtime (internal/stream)
+// needs. The per-edge choices are the splitmix64 finalizer over the mixed
+// key, mapped to [0, k) by multiply-shift. Note that parallel edges share an
+// identity and therefore a machine — the standard behaviour of hash-sharded
+// deployments (and harmless for Theorems 1 and 2, whose guarantees are per
+// edge-identity). Panics if k <= 0.
+func HashAssign(e graph.Edge, k int, seed uint64) int {
+	if k <= 0 {
+		panic("partition: HashAssign with k <= 0")
+	}
+	c := e.Canon()
+	key := mix64(seed) ^ (uint64(uint32(c.U))<<32 | uint64(uint32(c.V)))
+	hi, _ := bits.Mul64(mix64(key), uint64(k))
+	return int(hi)
+}
+
+// HashAssignAll returns the HashAssign machine index for every edge. It is
+// the assignment-vector oracle the streaming/batch parity tests compare
+// against.
+func HashAssignAll(edges []graph.Edge, k int, seed uint64) []int {
+	a := make([]int, len(edges))
+	for i, e := range edges {
+		a[i] = HashAssign(e, k, seed)
+	}
+	return a
+}
+
+// HashK materializes the hash k-partitioning of the edge multiset: the batch
+// equivalent of streaming every edge through HashAssign. Within each part,
+// edges keep their input order.
+func HashK(edges []graph.Edge, k int, seed uint64) [][]graph.Edge {
+	return ByAssignment(edges, k, HashAssignAll(edges, k, seed))
 }
 
 // ByAssignment materializes parts from an explicit assignment vector.

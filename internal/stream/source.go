@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// EdgeSource streams the edges of a graph in caller-sized batches. It is the
+// runtime's only view of the input: nothing downstream of a source ever holds
+// the full edge list, which is what makes the pipeline run in the paper's
+// per-machine space regime.
+type EdgeSource interface {
+	// Next fills buf with up to len(buf) edges and returns how many were
+	// written. It returns io.EOF (with a count of 0) once the stream is
+	// exhausted, and any parse/read error otherwise.
+	Next(buf []graph.Edge) (int, error)
+	// NumVertices returns the number of vertices. It is authoritative once
+	// Next has returned io.EOF; before that it is authoritative iff
+	// KnownUpfront reports true.
+	NumVertices() int
+	// KnownUpfront reports whether NumVertices is exact before the stream is
+	// drained (true for generators, slices and headered edge lists; false
+	// for headerless edge lists, where n is 1 + the largest id seen).
+	KnownUpfront() bool
+}
+
+// SliceSource streams an in-memory edge slice. It is the bridge from
+// materialized graphs (and the reference source for parity tests: edges are
+// delivered exactly in slice order).
+type SliceSource struct {
+	n     int
+	edges []graph.Edge
+	pos   int
+}
+
+// NewSliceSource returns a source over (n, edges). The slice is not copied.
+func NewSliceSource(n int, edges []graph.Edge) *SliceSource {
+	return &SliceSource{n: n, edges: edges}
+}
+
+// NewGraphSource returns a source streaming g's edge list.
+func NewGraphSource(g *graph.Graph) *SliceSource {
+	return NewSliceSource(g.N, g.Edges)
+}
+
+func (s *SliceSource) Next(buf []graph.Edge) (int, error) {
+	if s.pos >= len(s.edges) {
+		return 0, io.EOF
+	}
+	c := copy(buf, s.edges[s.pos:])
+	s.pos += c
+	return c, nil
+}
+
+func (s *SliceSource) NumVertices() int   { return s.n }
+func (s *SliceSource) KnownUpfront() bool { return true }
+
+// IterSource adapts a gen.EdgeIter (a synthetic-workload generator with O(1)
+// state) into an EdgeSource on a declared vertex universe.
+type IterSource struct {
+	n    int
+	it   gen.EdgeIter
+	done bool
+}
+
+// NewIterSource returns a source over the iterator's edges on n vertices.
+func NewIterSource(n int, it gen.EdgeIter) *IterSource {
+	return &IterSource{n: n, it: it}
+}
+
+func (s *IterSource) Next(buf []graph.Edge) (int, error) {
+	if s.done {
+		return 0, io.EOF
+	}
+	c := 0
+	for c < len(buf) {
+		e, ok := s.it.Next()
+		if !ok {
+			s.done = true
+			if c == 0 {
+				return 0, io.EOF
+			}
+			return c, nil
+		}
+		buf[c] = e
+		c++
+	}
+	return c, nil
+}
+
+func (s *IterSource) NumVertices() int   { return s.n }
+func (s *IterSource) KnownUpfront() bool { return true }
+
+// ReaderSource streams a text edge list (the cmd/coreset format) from an
+// io.Reader via the incremental parser, validating line by line. With a
+// "p <n> <m>" header the vertex count is known upfront (enabling the online
+// peeling optimization); without one it is inferred as the stream drains.
+type ReaderSource struct {
+	p    *graph.EdgeListParser
+	done bool
+}
+
+// NewReaderSource returns a source parsing r incrementally.
+func NewReaderSource(r io.Reader) *ReaderSource {
+	return &ReaderSource{p: graph.NewEdgeListParser(r)}
+}
+
+func (s *ReaderSource) Next(buf []graph.Edge) (int, error) {
+	if s.done {
+		return 0, io.EOF
+	}
+	c := 0
+	for c < len(buf) {
+		e, err := s.p.Next()
+		if err == io.EOF {
+			s.done = true
+			if c == 0 {
+				return 0, io.EOF
+			}
+			return c, nil
+		}
+		if err != nil {
+			// The whole input is invalid; the partial batch is discarded.
+			return 0, err
+		}
+		buf[c] = e
+		c++
+	}
+	return c, nil
+}
+
+func (s *ReaderSource) NumVertices() int   { return s.p.NumVertices() }
+func (s *ReaderSource) KnownUpfront() bool { return s.p.HasHeader() }

@@ -1,0 +1,288 @@
+// Package stream is the streaming, sharded coreset runtime: the deployment
+// shape of the paper's simultaneous model. Where the batch pipeline
+// (internal/core) materializes the edge list, partitions it with a single
+// sequential RNG and then maps over the parts, this runtime is a pipeline of
+// concurrent stages:
+//
+//	EdgeSource --> sharder --> k machine goroutines --> coordinator
+//
+// An EdgeSource streams edges in batches from a file reader, a generator or
+// a slice, never holding the full graph. The sharder routes each edge with
+// partition.HashAssign — a seeded, position-independent hash, so the induced
+// random k-partitioning is reproducible and shardable in parallel, unlike
+// partition.RandomK. Each machine goroutine runs an incremental coreset
+// builder (one-pass greedy matching telemetry plus an exact end-of-stream
+// maximum matching for Theorem 1; incremental degree tracking with online
+// level-1 peeling for the Theorem 2 VC-coreset) and emits its summary, with
+// communication accounting, to the coordinator, which composes the final
+// answer exactly as the batch pipeline does.
+//
+// Given the same hash k-partitioning, the streaming runtime reproduces the
+// batch pipeline bit for bit (see the parity tests); what it changes is the
+// resource profile — O(batch) driver memory, per-machine state bounded by
+// the machine's own partition (less, for vertex cover, once online peeling
+// starts discarding covered edges), and all k machines consuming concurrently.
+package stream
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+)
+
+// DefaultBatchSize is the number of edges per routed batch when Config leaves
+// BatchSize zero. Batches amortize channel operations; the value is a latency
+// versus overhead trade-off, not a correctness knob.
+const DefaultBatchSize = 1024
+
+// Config parameterizes a streaming run.
+type Config struct {
+	// K is the number of machines (required, > 0).
+	K int
+	// Seed seeds the hash sharder: HashAssign(e, K, Seed) decides every
+	// route. It is the run's only source of randomness.
+	Seed uint64
+	// BatchSize is the number of edges per routed batch (default
+	// DefaultBatchSize).
+	BatchSize int
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Stats reports what a streaming run did and cost. It mirrors
+// core.PipelineStats where the fields coincide, plus streaming-specific
+// accounting.
+type Stats struct {
+	K          int
+	N          int   // final vertex count
+	EdgesTotal int   // edges read from the source
+	Batches    int   // batches read from the source
+	PartEdges  []int // edges routed to each machine
+	// StoredEdges is how many edges each machine still held at end of
+	// stream. For matching it equals PartEdges (the model's O(m/k) budget);
+	// for vertex cover online peeling makes it smaller on peel-heavy inputs.
+	StoredEdges []int
+	// Live is each machine's online telemetry at end of stream: the greedy
+	// matching size (matching) or the count of vertices peeled online (vc).
+	Live             []int
+	CoresetEdges     []int
+	CoresetFixed     []int // vc only
+	TotalCommBytes   int
+	MaxMachineBytes  int
+	CompositionEdges int
+	// Duration spans the whole pipeline: source + sharding + machines +
+	// composition (Shard, which composes nothing, spans through drain).
+	Duration time.Duration
+}
+
+// EdgesPerSec returns the end-to-end throughput of the run.
+func (s *Stats) EdgesPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.EdgesTotal) / s.Duration.Seconds()
+}
+
+// Matching runs the full Theorem 1 pipeline over the stream: hash-shard the
+// edges across cfg.K machines, maintain per-machine coresets incrementally,
+// and compose a maximum matching of the union of the summaries.
+func Matching(src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
+	start := time.Now()
+	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+		return newMatchingBuilder()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	coresets := make([][]graph.Edge, cfg.K)
+	for i, s := range sums {
+		coresets[i] = s.coreset
+		st.CoresetEdges = append(st.CoresetEdges, len(s.coreset))
+		st.CompositionEdges += len(s.coreset)
+	}
+	m := core.ComposeMatching(st.N, coresets)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// VertexCover runs the full Theorem 2 pipeline over the stream and returns
+// the composed cover.
+func VertexCover(src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
+	start := time.Now()
+	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+		return newVCBuilder(cfg.K, nHint)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	coresets := make([]*core.VCCoreset, cfg.K)
+	for i, s := range sums {
+		coresets[i] = s.vc
+		st.CoresetEdges = append(st.CoresetEdges, len(s.vc.Residual))
+		st.CoresetFixed = append(st.CoresetFixed, len(s.vc.Fixed))
+		st.CompositionEdges += len(s.vc.Residual)
+	}
+	cover := core.ComposeVC(st.N, coresets)
+	st.Duration = time.Since(start)
+	return cover, st, nil
+}
+
+// Shard runs only the source+sharder stages and returns the per-machine edge
+// lists (each in arrival order). It is the runtime's routing made observable:
+// parity tests compare it against the partition.ByAssignment oracle, and
+// alternative backends can use it to feed machines that live elsewhere.
+func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
+	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+		return &collectBuilder{}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := make([][]graph.Edge, cfg.K)
+	for i, s := range sums {
+		parts[i] = s.coreset
+	}
+	return parts, st, nil
+}
+
+// run drives the pipeline: the caller's goroutine reads the source and
+// shards, k goroutines consume and build, and the final vertex count is
+// published to the machines only after the stream is drained (the
+// close(nReady) edge is the happens-before that makes this race-free).
+func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]summary, *Stats, error) {
+	if src == nil {
+		return nil, nil, errors.New("stream: nil source")
+	}
+	if cfg.K <= 0 {
+		return nil, nil, errors.New("stream: config K must be > 0")
+	}
+	k := cfg.K
+	start := time.Now()
+
+	nHint := 0
+	if src.KnownUpfront() {
+		nHint = src.NumVertices()
+	}
+
+	var (
+		nFinal  int
+		nReady  = make(chan struct{})
+		abort   = make(chan struct{})
+		results = make(chan summary, k)
+		wg      sync.WaitGroup
+	)
+	chans := make([]chan []graph.Edge, k)
+	for i := 0; i < k; i++ {
+		chans[i] = make(chan []graph.Edge, 4)
+		wg.Add(1)
+		go func(machine int) {
+			defer wg.Done()
+			b := mk(machine, nHint)
+			received := 0
+			for batch := range chans[machine] {
+				received += len(batch)
+				for _, e := range batch {
+					b.add(e)
+				}
+			}
+			select {
+			case <-nReady:
+			case <-abort:
+				return
+			}
+			s := b.finish(nFinal)
+			s.machine = machine
+			s.edges = received
+			results <- s
+		}(i)
+	}
+
+	closeAll := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+
+	// Shard stage: read batches from the source, route each edge by hash,
+	// flush per-machine mini-batches as they fill.
+	bs := cfg.batchSize()
+	buf := make([]graph.Edge, bs)
+	pending := make([][]graph.Edge, k)
+	total, batches := 0, 0
+	var srcErr error
+	for {
+		c, err := src.Next(buf)
+		if c > 0 {
+			total += c
+			batches++
+			for _, e := range buf[:c] {
+				i := partition.HashAssign(e, k, cfg.Seed)
+				if pending[i] == nil {
+					pending[i] = make([]graph.Edge, 0, bs)
+				}
+				pending[i] = append(pending[i], e)
+				if len(pending[i]) == bs {
+					chans[i] <- pending[i]
+					pending[i] = nil
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				srcErr = err
+			}
+			break
+		}
+	}
+	if srcErr != nil {
+		close(abort)
+		closeAll()
+		wg.Wait()
+		return nil, nil, srcErr
+	}
+	for i, p := range pending {
+		if len(p) > 0 {
+			chans[i] <- p
+		}
+	}
+	closeAll()
+
+	nFinal = src.NumVertices()
+	close(nReady)
+	wg.Wait()
+	close(results)
+
+	sums := make([]summary, k)
+	st := &Stats{
+		K:           k,
+		N:           nFinal,
+		EdgesTotal:  total,
+		Batches:     batches,
+		PartEdges:   make([]int, k),
+		StoredEdges: make([]int, k),
+		Live:        make([]int, k),
+	}
+	for s := range results {
+		sums[s.machine] = s
+		st.PartEdges[s.machine] = s.edges
+		st.StoredEdges[s.machine] = s.stored
+		st.Live[s.machine] = s.live
+		st.TotalCommBytes += s.bytes
+		if s.bytes > st.MaxMachineBytes {
+			st.MaxMachineBytes = s.bytes
+		}
+	}
+	st.Duration = time.Since(start)
+	return sums, st, nil
+}

@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/vcover"
+)
+
+// parityGraph returns a deterministic test workload per seed.
+func parityGraph(seed uint64, n int, deg float64) *graph.Graph {
+	return gen.GNP(n, deg/float64(n), rng.New(seed))
+}
+
+// batchHashParts is the oracle: the same k-partitioning the runtime's
+// sharder must induce, materialized by the batch path.
+func batchHashParts(g *graph.Graph, k int, seed uint64) [][]graph.Edge {
+	return partition.ByAssignment(g.Edges, k, partition.HashAssignAll(g.Edges, k, seed))
+}
+
+// TestShardParity: the streaming sharder must deliver, to every machine,
+// exactly the edge sequence the partition.ByAssignment oracle assigns it —
+// same multiset AND same order, across seeds and batch sizes.
+func TestShardParity(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := parityGraph(seed, 600, 7)
+		for _, bs := range []int{0, 1, 7, 4096} {
+			k := 5
+			parts, st, err := Shard(NewGraphSource(g), Config{K: k, Seed: seed, BatchSize: bs})
+			if err != nil {
+				t.Fatalf("seed %d bs %d: %v", seed, bs, err)
+			}
+			want := batchHashParts(g, k, seed)
+			for i := range want {
+				if len(want[i]) == 0 && len(parts[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(parts[i], want[i]) {
+					t.Fatalf("seed %d bs %d machine %d: stream shard differs from ByAssignment oracle", seed, bs, i)
+				}
+			}
+			if !partition.Verify(g.Edges, parts) {
+				t.Fatalf("seed %d bs %d: shards are not an exact multiset partition", seed, bs)
+			}
+			if st.EdgesTotal != g.M() || st.N != g.N {
+				t.Fatalf("seed %d: stats EdgesTotal=%d N=%d, want %d %d", seed, st.EdgesTotal, st.N, g.M(), g.N)
+			}
+		}
+	}
+}
+
+// TestMatchingParity: the streaming Theorem 1 pipeline must reproduce the
+// batch pipeline run on the same hash k-partitioning bit for bit — identical
+// per-machine coresets, identical composed matching — across >= 5 seeds.
+func TestMatchingParity(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := parityGraph(seed, 800, 8)
+		k := 6
+		m, st, err := Matching(NewGraphSource(g), Config{K: k, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := matching.Verify(g.N, g.Edges, m); err != nil {
+			t.Fatalf("seed %d: streamed matching invalid: %v", seed, err)
+		}
+
+		parts := batchHashParts(g, k, seed)
+		coresets := make([][]graph.Edge, k)
+		for i, p := range parts {
+			coresets[i] = core.MatchingCoreset(g.N, p)
+			if st.CoresetEdges[i] != len(coresets[i]) {
+				t.Fatalf("seed %d machine %d: coreset size %d, batch %d", seed, i, st.CoresetEdges[i], len(coresets[i]))
+			}
+			if st.PartEdges[i] != len(p) {
+				t.Fatalf("seed %d machine %d: routed %d edges, batch part has %d", seed, i, st.PartEdges[i], len(p))
+			}
+		}
+		want := core.ComposeMatching(g.N, coresets)
+		if m.Size() != want.Size() {
+			t.Fatalf("seed %d: streamed matching %d, batch %d", seed, m.Size(), want.Size())
+		}
+		if !reflect.DeepEqual(m.Edges(), want.Edges()) {
+			t.Fatalf("seed %d: streamed matching edges differ from batch", seed)
+		}
+		// The live greedy telemetry is a maximal matching of the machine's
+		// partition, hence at least half its maximum matching.
+		for i := range parts {
+			if 2*st.Live[i] < len(coresets[i]) {
+				t.Fatalf("seed %d machine %d: greedy %d below half of maximum %d", seed, i, st.Live[i], len(coresets[i]))
+			}
+		}
+	}
+}
+
+// TestVertexCoverParity: the streaming Theorem 2 pipeline (with online
+// level-1 peeling) must emit per-machine coresets deep-equal to batch
+// core.ComputeVCCoreset on the same parts, and compose to the identical,
+// feasible cover — across >= 5 seeds.
+func TestVertexCoverParity(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		// High average degree so peeling actually fires several levels.
+		g := parityGraph(seed, 700, 40)
+		k := 4
+		cover, st, err := VertexCover(NewGraphSource(g), Config{K: k, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
+			t.Fatalf("seed %d: streamed cover infeasible: %v", seed, err)
+		}
+
+		parts := batchHashParts(g, k, seed)
+		coresets := make([]*core.VCCoreset, k)
+		peeledOnline := 0
+		for i, p := range parts {
+			coresets[i] = core.ComputeVCCoreset(g.N, k, p)
+			if st.CoresetEdges[i] != len(coresets[i].Residual) || st.CoresetFixed[i] != len(coresets[i].Fixed) {
+				t.Fatalf("seed %d machine %d: coreset (%d res, %d fixed), batch (%d, %d)",
+					seed, i, st.CoresetEdges[i], st.CoresetFixed[i], len(coresets[i].Residual), len(coresets[i].Fixed))
+			}
+			peeledOnline += st.Live[i]
+			// Online peeling must only ever shrink what a machine stores.
+			if st.StoredEdges[i] > st.PartEdges[i] {
+				t.Fatalf("seed %d machine %d: stored %d > received %d", seed, i, st.StoredEdges[i], st.PartEdges[i])
+			}
+		}
+		want := core.ComposeVC(g.N, coresets)
+		if !reflect.DeepEqual(cover, want) {
+			t.Fatalf("seed %d: streamed cover differs from batch (got %d vertices, want %d)", seed, len(cover), len(want))
+		}
+	}
+}
+
+// TestVCBuilderDeepParity drives the vc builder directly against batch
+// ComputeVCCoreset: with the vertex count known upfront the online-peeling
+// path must produce a field-for-field identical coreset, for every machine.
+func TestVCBuilderDeepParity(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := parityGraph(seed, 500, 60)
+		k := 3
+		parts := batchHashParts(g, k, seed)
+		for i, p := range parts {
+			b := newVCBuilder(k, g.N)
+			for _, e := range p {
+				b.add(e)
+			}
+			got := b.finish(g.N).vc
+			want := core.ComputeVCCoreset(g.N, k, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d machine %d: online-peel coreset differs from batch:\ngot  %+v\nwant %+v", seed, i, got, want)
+			}
+			if b.threshold == 0 {
+				t.Fatalf("seed %d machine %d: online peeling unexpectedly disabled", seed, i)
+			}
+		}
+	}
+}
+
+// TestReaderSourceParity: streaming from the text format (with header: n
+// known upfront) must match streaming from the in-memory slice.
+func TestReaderSourceParity(t *testing.T) {
+	g := parityGraph(11, 400, 10)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, Seed: 11}
+	fromFile, stF, err := Matching(NewReaderSource(bytes.NewReader(buf.Bytes())), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSlice, stS, err := Matching(NewGraphSource(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Size() != fromSlice.Size() || stF.N != stS.N || stF.EdgesTotal != stS.EdgesTotal {
+		t.Fatalf("reader (%d edges, n=%d) differs from slice (%d edges, n=%d)",
+			fromFile.Size(), stF.N, fromSlice.Size(), stS.N)
+	}
+}
+
+// TestHeaderlessReader: without a header the vertex count is only known at
+// end of stream; the vc path must fall back to batch peeling and still agree
+// with the batch pipeline.
+func TestHeaderlessReader(t *testing.T) {
+	g := parityGraph(13, 300, 30)
+	var sb strings.Builder
+	for _, e := range g.Edges {
+		sb.WriteString(strconv.Itoa(int(e.U)) + " " + strconv.Itoa(int(e.V)) + "\n")
+	}
+	src := NewReaderSource(strings.NewReader(sb.String()))
+	if src.KnownUpfront() {
+		t.Fatal("headerless source claims to know n upfront")
+	}
+	cfg := Config{K: 4, Seed: 13}
+	cover, st, err := VertexCover(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headerless n is 1 + max id seen, which can be < g.N if the top ids are
+	// isolated; the composed cover must still match batch on that universe.
+	parts := partition.ByAssignment(g.Edges, cfg.K, partition.HashAssignAll(g.Edges, cfg.K, cfg.Seed))
+	coresets := make([]*core.VCCoreset, cfg.K)
+	for i, p := range parts {
+		coresets[i] = core.ComputeVCCoreset(st.N, cfg.K, p)
+	}
+	want := core.ComposeVC(st.N, coresets)
+	if !reflect.DeepEqual(cover, want) {
+		t.Fatalf("headerless streamed cover differs from batch")
+	}
+	if err := vcover.Verify(st.N, g.Edges, cover); err != nil {
+		t.Fatalf("headerless cover infeasible: %v", err)
+	}
+}
+
+// TestIterSourceMatchesGraphSource: the generator source streams exactly the
+// edges the materializing generator produces.
+func TestIterSourceMatchesGraphSource(t *testing.T) {
+	const n, seed = 500, 17
+	p := 8.0 / n
+	g := gen.GNP(n, p, rng.New(seed))
+	src := NewIterSource(n, gen.GNPIter(n, p, rng.New(seed)))
+	parts, _, err := Shard(src, Config{K: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchHashParts(g, 3, 17)
+	for i := range want {
+		if len(want[i])+len(parts[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(parts[i], want[i]) {
+			t.Fatalf("machine %d: generator-streamed shard differs from materialized oracle", i)
+		}
+	}
+}
+
+// TestEmptyStream: a zero-edge stream must compose empty answers, not hang
+// or panic.
+func TestEmptyStream(t *testing.T) {
+	m, st, err := Matching(NewSliceSource(0, nil), Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 0 || st.EdgesTotal != 0 {
+		t.Fatalf("empty stream produced size %d, %d edges", m.Size(), st.EdgesTotal)
+	}
+	cover, _, err := VertexCover(NewSliceSource(0, nil), Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 0 {
+		t.Fatalf("empty stream produced cover of %d", len(cover))
+	}
+}
+
+// TestSourceErrorAborts: an invalid input must surface its parse error and
+// shut the machine goroutines down cleanly (no deadlock, no summary).
+func TestSourceErrorAborts(t *testing.T) {
+	in := "p 4 3\n0 1\n2 3\n0 9\n" // third edge out of declared range
+	_, _, err := Matching(NewReaderSource(strings.NewReader(in)), Config{K: 2, Seed: 1})
+	if err == nil {
+		t.Fatal("invalid input accepted")
+	}
+	if !strings.Contains(err.Error(), "out of declared range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestConfigValidation: bad configs and sources are rejected.
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := Matching(nil, Config{K: 2}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, _, err := Matching(NewSliceSource(0, nil), Config{K: 0}); err == nil {
+		t.Fatal("K = 0 accepted")
+	}
+}
+
+// TestStatsAccounting: communication accounting must agree with the encoded
+// sizes of the summaries.
+func TestStatsAccounting(t *testing.T) {
+	g := parityGraph(19, 400, 8)
+	k := 4
+	_, st, err := Matching(NewGraphSource(g), Config{K: k, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := batchHashParts(g, k, 19)
+	wantTotal, wantMax := 0, 0
+	for _, p := range parts {
+		b := core.CoresetSizeBytes(core.MatchingCoreset(g.N, p))
+		wantTotal += b
+		if b > wantMax {
+			wantMax = b
+		}
+	}
+	if st.TotalCommBytes != wantTotal || st.MaxMachineBytes != wantMax {
+		t.Fatalf("comm accounting (%d, %d), want (%d, %d)", st.TotalCommBytes, st.MaxMachineBytes, wantTotal, wantMax)
+	}
+	if st.EdgesPerSec() <= 0 {
+		t.Fatal("throughput not reported")
+	}
+}
