@@ -16,19 +16,25 @@
 // concurrent machine goroutines, each maintaining its coreset incrementally
 // — the shape of a real deployment, where every machine summarizes its share
 // in O(n)-ish space as data arrives. Streaming mode reads files and stdin
-// incrementally and streams the gnp and star generators without ever
-// building the edge list (powerlaw is materialized, then streamed).
+// incrementally and streams all three generators (gnp, star and powerlaw)
+// without ever building the edge list.
+//
+// With -json the run report is emitted as a single JSON object using the
+// same schema (graph.RunReport) the coresetd service returns for jobs, so
+// CLI runs and service queries are interchangeable downstream.
 //
 // The input format is one "u v" edge per line, optionally preceded by a
 // header "p <n> <m>"; lines starting with '#' or '%' are comments.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		streaming = fs.Bool("stream", false, "use the streaming sharded runtime (never materializes the graph)")
 		batch     = fs.Int("batch", 0, "streaming batch size in edges (0 = default)")
 		quiet     = fs.Bool("q", false, "print only the summary line")
+		jsonOut   = fs.Bool("json", false, "emit the run report as JSON (graph.RunReport schema)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,12 +76,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *streaming {
-		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *quiet, stdout, stderr)
+		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *quiet, *jsonOut, stdout, stderr)
 	}
-	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *quiet, stdout, stderr)
+	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *quiet, *jsonOut, stdout, stderr)
 }
 
-func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers int, quiet bool, stdout, stderr io.Writer) int {
+// emitReport writes the JSON run report, the CLI's machine-readable output.
+func emitReport(stdout io.Writer, rep *graph.RunReport) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	g, err := loadGraph(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -84,16 +101,21 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 		fmt.Fprintln(stderr, "coreset: invalid input:", err)
 		return 1
 	}
-	if !quiet {
+	if !quiet && !jsonOut {
 		fmt.Fprintf(stdout, "graph: n=%d m=%d, k=%d machines\n", g.N, g.M(), k)
 	}
 
 	switch task {
 	case "matching":
+		start := time.Now()
 		m, st := core.DistributedMatching(g, k, workers, seed)
+		d := time.Since(start)
 		if err := matching.Verify(g.N, g.Edges, m); err != nil {
 			fmt.Fprintln(stderr, "coreset: internal error:", err)
 			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, g.N, g.M(), seed, m.Size(), d))
 		}
 		if !quiet {
 			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
@@ -102,10 +124,15 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 		}
 		fmt.Fprintf(stdout, "matching: %d edges (distributed, %d machines)\n", m.Size(), k)
 	case "vc":
+		start := time.Now()
 		cover, st := core.DistributedVertexCover(g, k, workers, seed)
+		d := time.Since(start)
 		if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
 			fmt.Fprintln(stderr, "coreset: internal error:", err)
 			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, g.N, g.M(), seed, len(cover), d))
 		}
 		if !quiet {
 			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
@@ -121,7 +148,7 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 	return 0
 }
 
-func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch int, quiet bool, stdout, stderr io.Writer) int {
+func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	src, closeSrc, err := openSource(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -139,6 +166,9 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
 		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, seed, m.Size()))
+		}
 		if !quiet {
 			printStreamStats(stdout, st)
 			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
@@ -150,6 +180,9 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 		if err != nil {
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, seed, len(cover)))
 		}
 		if !quiet {
 			printStreamStats(stdout, st)
@@ -184,8 +217,7 @@ func openSource(in, genName string, n int, deg float64, seed uint64) (stream.Edg
 		case "star":
 			return stream.NewIterSource(n, gen.StarIter(n)), nil, nil
 		case "powerlaw":
-			g := gen.ChungLu(n, 2.0, n/16+1, rng.New(seed))
-			return stream.NewGraphSource(g), nil, nil
+			return stream.NewIterSource(n, gen.PowerlawIter(n, 2.0, n/16+1, rng.New(seed))), nil, nil
 		default:
 			return nil, nil, fmt.Errorf("unknown generator %q", genName)
 		}

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+
 	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestLoadGraphGenerators(t *testing.T) {
@@ -170,5 +174,133 @@ func TestLoadGraphDeterministicSeed(t *testing.T) {
 	}
 	if a.M() != b.M() {
 		t.Fatal("generator not deterministic under seed")
+	}
+}
+
+// normalizeReport zeroes the wall-clock fields so the rest of the report can
+// be compared verbatim.
+func normalizeReport(t *testing.T, jsonOut string) string {
+	t.Helper()
+	var rep graph.RunReport
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("decoding report %q: %v", jsonOut, err)
+	}
+	if rep.DurationMS <= 0 {
+		t.Fatalf("report has no duration: %q", jsonOut)
+	}
+	rep.DurationMS = 0
+	rep.EdgesPerSec = 0
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// Golden tests for -json: fixed input, fixed seed, exact report (modulo
+// wall clock). The schema is shared with the coresetd service, so these
+// also pin the service's result format.
+func TestJSONGoldenBatchMatching(t *testing.T) {
+	out, errOut, code := runCLI(t, "-task", "matching", "-k", "2", "-seed", "3", "-json", "-in", writePath10(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want := `{
+  "task": "matching",
+  "mode": "batch",
+  "n": 10,
+  "m": 9,
+  "k": 2,
+  "seed": 3,
+  "solutionSize": 5,
+  "partEdges": [
+    3,
+    6
+  ],
+  "coresetEdges": [
+    2,
+    3
+  ],
+  "totalCommBytes": 12,
+  "maxMachineBytes": 7,
+  "compositionEdges": 5,
+  "durationMs": 0
+}`
+	if got := normalizeReport(t, out); got != want {
+		t.Fatalf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONGoldenStreamVC(t *testing.T) {
+	out, errOut, code := runCLI(t, "-task", "vc", "-k", "2", "-seed", "3", "-stream", "-json", "-in", writePath10(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want := `{
+  "task": "vc",
+  "mode": "stream",
+  "n": 10,
+  "m": 9,
+  "k": 2,
+  "seed": 3,
+  "solutionSize": 8,
+  "partEdges": [
+    3,
+    6
+  ],
+  "storedEdges": [
+    3,
+    6
+  ],
+  "live": [
+    0,
+    0
+  ],
+  "coresetEdges": [
+    3,
+    6
+  ],
+  "coresetFixed": [
+    0,
+    0
+  ],
+  "totalCommBytes": 22,
+  "maxMachineBytes": 14,
+  "compositionEdges": 9,
+  "batches": 1,
+  "durationMs": 0
+}`
+	if got := normalizeReport(t, out); got != want {
+		t.Fatalf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The streamed powerlaw generator must shard the exact same graph the batch
+// path materializes: same seed, same report modulo mode-specific fields.
+func TestPowerlawStreamMatchesBatch(t *testing.T) {
+	args := []string{"-task", "matching", "-gen", "powerlaw", "-n", "2000", "-seed", "11", "-k", "4", "-json"}
+	outBatch, errOut, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("batch exit %d, stderr: %s", code, errOut)
+	}
+	outStream, errOut, code := runCLI(t, append(args, "-stream")...)
+	if code != 0 {
+		t.Fatalf("stream exit %d, stderr: %s", code, errOut)
+	}
+	var b, s graph.RunReport
+	if err := json.Unmarshal([]byte(outBatch), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(outStream), &s); err != nil {
+		t.Fatal(err)
+	}
+	if b.M != s.M || b.N != s.N {
+		t.Fatalf("shapes differ: batch n=%d m=%d, stream n=%d m=%d", b.N, b.M, s.N, s.M)
+	}
+	if b.M == 0 {
+		t.Fatal("powerlaw generated no edges")
+	}
+	if b.SolutionSize == 0 || s.SolutionSize == 0 {
+		t.Fatalf("degenerate solutions: batch %d, stream %d", b.SolutionSize, s.SolutionSize)
 	}
 }

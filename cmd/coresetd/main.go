@@ -1,0 +1,112 @@
+// Command coresetd is the long-running coreset service: it keeps graphs and
+// their composed coreset results resident and answers matching / vertex-cover
+// queries over HTTP, so the reusable summaries the paper constructs are
+// computed once and served many times.
+//
+// Usage:
+//
+//	coresetd -addr :8440
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/graphs     register a graph: JSON {"gen": {...}} or
+//	                      {"edgeList": "..."}; any other content type is raw
+//	                      edge-list text (optional ?id=NAME)
+//	GET    /v1/graphs/{id}  describe a registered graph
+//	DELETE /v1/graphs/{id}  drop an idle graph
+//	POST   /v1/jobs       submit a job: {"graph","task","k","seed","mode"}
+//	GET    /v1/jobs/{id}  poll a job; ?wait=2s long-polls until terminal
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /v1/stats      registry / job / cache counters
+//	GET    /healthz       liveness probe (text)
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains in-flight
+// jobs (bounded by -drain) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("coresetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8440", "listen address")
+		workers   = fs.Int("workers", 4, "job worker pool size")
+		queue     = fs.Int("queue", 64, "pending-job queue depth")
+		maxGraphs = fs.Int("max-graphs", 64, "resident graph cap (idle graphs beyond it are evicted)")
+		cacheCap  = fs.Int("cache", 256, "result cache capacity (entries)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(stderr, "coresetd: ", log.LstdFlags)
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxGraphs:  *maxGraphs,
+		CacheSize:  *cacheCap,
+	})
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     svc,
+		ReadTimeout: 5 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return 1
+	}
+	logger.Printf("serving on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining for up to %v", *drain)
+	// The HTTP listener and the job pool each get their own drain budget: a
+	// client parked in a long-poll must not eat the time the job drain needs.
+	hctx, hcancel := context.WithTimeout(context.Background(), *drain)
+	if err := httpSrv.Shutdown(hctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	hcancel()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(dctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

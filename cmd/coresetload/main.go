@@ -1,0 +1,199 @@
+// Command coresetload is the load generator for coresetd: it registers a
+// graph, fires a stream of jobs from concurrent clients, long-polls each to
+// completion and reports client-side latency percentiles plus the server's
+// cache counters. Cycling a small seed set (-seeds) makes repeated keys hit
+// the result cache, so the tool doubles as a demonstration that cached
+// queries are orders of magnitude cheaper than cold ones.
+//
+// Usage:
+//
+//	coresetload -addr http://127.0.0.1:8440 -gen gnp -n 20000 -deg 8 \
+//	            -task matching -k 4 -jobs 32 -c 4 -seeds 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coresetload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8440", "coresetd base URL")
+		genName = fs.String("gen", "gnp", "graph generator: gnp | star | powerlaw")
+		n       = fs.Int("n", 20000, "vertices")
+		deg     = fs.Float64("deg", 8, "average degree (gnp)")
+		gseed   = fs.Uint64("graphseed", 1, "generator seed")
+		task    = fs.String("task", "matching", "job task: matching | vc")
+		k       = fs.Int("k", 4, "machines per job")
+		mode    = fs.String("mode", "stream", "job mode: stream | batch")
+		jobs    = fs.Int("jobs", 32, "total jobs to run")
+		conc    = fs.Int("c", 4, "concurrent clients")
+		seeds   = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the cache)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *jobs <= 0 || *conc <= 0 || *seeds <= 0 {
+		fmt.Fprintln(stderr, "coresetload: -jobs, -c and -seeds must be > 0")
+		return 2
+	}
+
+	lg := &loadgen{base: *addr, client: &http.Client{Timeout: 2 * time.Minute}}
+
+	var info service.GraphInfo
+	req := service.CreateGraphRequest{Gen: &service.GenSpec{Name: *genName, N: *n, Deg: *deg, Seed: *gseed}}
+	if err := lg.postJSON("/v1/graphs", req, &info); err != nil {
+		fmt.Fprintln(stderr, "coresetload: registering graph:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "graph %s: %s n=%d\n", info.ID, *genName, info.N)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				jr := service.CreateJobRequest{
+					Graph: info.ID, Task: *task, K: *k,
+					Seed: uint64(i % *seeds), Mode: *mode,
+				}
+				t0 := time.Now()
+				err := lg.runJob(jr, *timeout)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					failures++
+					fmt.Fprintf(stderr, "coresetload: job %d: %v\n", i, err)
+				} else {
+					latencies = append(latencies, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if len(latencies) == 0 {
+		fmt.Fprintln(stderr, "coresetload: no job succeeded")
+		return 1
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Fprintf(stdout, "%d jobs in %.2fs (%.1f jobs/sec), %d failed\n",
+		len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures)
+	fmt.Fprintf(stdout, "latency: p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+
+	var st service.StatsView
+	if err := lg.getJSON("/v1/stats", &st); err != nil {
+		fmt.Fprintln(stderr, "coresetload: stats:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "server: %d done / %d failed / %d canceled; cache %d hits / %d misses\n",
+		st.Jobs.Done, st.Jobs.Failed, st.Jobs.Canceled, st.Cache.Hits, st.Cache.Misses)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+type loadgen struct {
+	base   string
+	client *http.Client
+}
+
+func (l *loadgen) postJSON(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func (l *loadgen) getJSON(path string, out any) error {
+	resp, err := l.client.Get(l.base + path)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// runJob submits one job and long-polls it to a terminal state.
+func (l *loadgen) runJob(req service.CreateJobRequest, timeout time.Duration) error {
+	var v service.JobView
+	if err := l.postJSON("/v1/jobs", req, &v); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for v.State == string(service.JobQueued) || v.State == string(service.JobRunning) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s: timed out in state %s", v.ID, v.State)
+		}
+		if err := l.getJSON("/v1/jobs/"+v.ID+"?wait=2s", &v); err != nil {
+			return err
+		}
+	}
+	if v.State != string(service.JobDone) {
+		return fmt.Errorf("job %s: state %s (%s)", v.ID, v.State, v.Error)
+	}
+	return nil
+}

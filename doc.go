@@ -33,4 +33,32 @@
 // bit (internal/stream's parity tests); cmd/coreset selects between them
 // with -stream, examples/streaming_pipeline demonstrates the pipeline, and
 // experiment E19 compares their throughput and quality at fixed k.
+//
+// Above both runtimes sits the service layer (internal/service, served by
+// cmd/coresetd): a long-running daemon that keeps graphs and their composed
+// results resident, which is how the paper frames randomized composable
+// coresets in the first place — summaries computed once and reused across
+// many queries. Its architecture:
+//
+//	                   ┌──────────────────────── coresetd ────────────────────────┐
+//	POST /v1/graphs ──▶│ Registry: id → uploaded edges | generator spec           │
+//	                   │           (ref-counted, LRU-evicted)                     │
+//	                   │      │ Acquire/Release                                   │
+//	POST /v1/jobs ────▶│ Manager: bounded queue ─▶ worker pool ─▶ batch pipeline  │
+//	GET  /v1/jobs/{id} │          (cancel via context)         └▶ stream pipeline │
+//	                   │      │ publish on success                                │
+//	GET  /v1/stats ───▶│ Cache: (graph, task, k, seed, mode) → RunReport          │
+//	                   │        (LRU, hit/miss counters)                          │
+//	                   └──────────────────────────────────────────────────────────┘
+//
+// A job names a registered graph, a task (matching or vc), k, a seed and a
+// mode (batch or stream). Because both runtimes are deterministic functions
+// of the seed, the composed run report is cacheable: a repeated query is
+// answered from memory without re-running any pipeline (the cache-hit
+// counters in /v1/stats make this observable, and BENCH_service.json
+// records the cold-vs-hit latency gap). Streaming jobs honor cancellation
+// at batch granularity via stream.MatchingContext/VertexCoverContext; on
+// shutdown the daemon drains in-flight jobs before exiting. The CLI and the
+// service share graph.RunReport as their result schema (cmd/coreset -json),
+// and cmd/coresetload is the matching load generator.
 package repro

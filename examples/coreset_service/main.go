@@ -1,0 +1,111 @@
+// Example coreset_service runs the coresetd service in-process and walks
+// the whole API surface: register a graph by generator spec, submit a
+// streaming matching job, long-poll it to completion, replay the same query
+// to show it served from the result cache, and read the stats counters.
+// It is the programmatic twin of `coresetd` + `curl`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
+
+	// 1. Register a graph by generator spec: nothing is materialized; the
+	// registry stores O(1) parameters and jobs stream the edges on demand.
+	var info service.GraphInfo
+	post(base+"/v1/graphs", service.CreateGraphRequest{
+		Gen: &service.GenSpec{Name: "gnp", N: 10000, Deg: 8, Seed: 1},
+	}, &info)
+	fmt.Printf("registered graph %s (n=%d)\n", info.ID, info.N)
+
+	// 2. Submit a streaming matching job and long-poll it to completion.
+	req := service.CreateJobRequest{Graph: info.ID, Task: service.TaskMatching, K: 4, Seed: 7}
+	var job service.JobView
+	post(base+"/v1/jobs", req, &job)
+	for job.State == string(service.JobQueued) || job.State == string(service.JobRunning) {
+		get(base+"/v1/jobs/"+job.ID+"?wait=2s", &job)
+	}
+	fmt.Printf("job %s: %s, matching size %d in %.1fms (%0.f edges/sec)\n",
+		job.ID, job.State, job.Result.SolutionSize, job.Result.DurationMS, job.Result.EdgesPerSec)
+
+	// 3. The same query again: answered from the result cache, no pipeline.
+	var again service.JobView
+	post(base+"/v1/jobs", req, &again)
+	fmt.Printf("job %s: %s, cached=%v, same size %d\n",
+		again.ID, again.State, again.Cached, again.Result.SolutionSize)
+
+	// 4. Stats: one miss (the cold run), one hit (the replay).
+	var stats service.StatsView
+	get(base+"/v1/stats", &stats)
+	fmt.Printf("stats: %d jobs done, cache %d hit / %d miss, %d graph(s) resident\n",
+		stats.Jobs.Done, stats.Cache.Hits, stats.Cache.Misses, stats.Graphs.Count)
+
+	// 5. Graceful shutdown: stop the listener, then drain the job pool.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}
+
+func post(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/partition"
@@ -16,6 +18,31 @@ type PipelineStats struct {
 	TotalCommBytes   int   // sum of encoded message sizes
 	MaxMachineBytes  int   // largest single message
 	CompositionEdges int   // edges the coordinator processed
+}
+
+// Report assembles the shared JSON-able run report for a batch run: the
+// input shape, the partitioning parameters, the composed solution size and
+// these stats. The batch pipeline does not time itself, so the caller
+// passes the wall clock it measured around the call. The schema
+// (graph.RunReport) is shared with the streaming runtime and the coresetd
+// service.
+func (st *PipelineStats) Report(task string, n, m int, seed uint64, solutionSize int, d time.Duration) *graph.RunReport {
+	return &graph.RunReport{
+		Task:             task,
+		Mode:             "batch",
+		N:                n,
+		M:                m,
+		K:                st.K,
+		Seed:             seed,
+		SolutionSize:     solutionSize,
+		PartEdges:        st.PartEdges,
+		CoresetEdges:     st.CoresetEdges,
+		CoresetFixed:     st.CoresetFixed,
+		TotalCommBytes:   st.TotalCommBytes,
+		MaxMachineBytes:  st.MaxMachineBytes,
+		CompositionEdges: st.CompositionEdges,
+		DurationMS:       float64(d.Microseconds()) / 1000,
+	}
 }
 
 // DistributedMatching runs the full Theorem 1 pipeline on g: random

@@ -207,24 +207,7 @@ func ChungLu(n int, exponent float64, maxWeight int, r *rng.RNG) *graph.Graph {
 	if n < 2 {
 		return g
 	}
-	z := rng.NewZipf(maxWeight, exponent)
-	w := make([]float64, n)
-	total := 0.0
-	for i := range w {
-		w[i] = float64(z.Sample(r))
-		total += w[i]
-	}
-	// Sort weights descending (counting sort over 1..maxWeight).
-	cnt := make([]int, maxWeight+1)
-	for _, x := range w {
-		cnt[int(x)]++
-	}
-	sorted := make([]float64, 0, n)
-	for x := maxWeight; x >= 1; x-- {
-		for j := 0; j < cnt[x]; j++ {
-			sorted = append(sorted, float64(x))
-		}
-	}
+	sorted, total, perm := chungLuWeights(n, exponent, maxWeight, r)
 	var edges []graph.Edge
 	for u := 0; u < n-1; u++ {
 		// Upper bound for this row: weights are sorted, so the largest
@@ -252,12 +235,38 @@ func ChungLu(n int, exponent float64, maxWeight int, r *rng.RNG) *graph.Graph {
 		}
 	}
 	// Random relabeling.
-	perm := r.Perm32(n)
 	for i, e := range edges {
 		edges[i] = graph.Edge{U: perm[e.U], V: perm[e.V]}.Canon()
 	}
 	g.Edges = edges
 	return g
+}
+
+// chungLuWeights performs the Chung-Lu setup draws: the Zipf weight
+// sequence (sorted descending via counting sort), its total, and the vertex
+// relabeling permutation. The permutation is drawn before any edge is
+// sampled so the whole draw sequence is a prefix-replayable function of
+// (n, params). ChungLu and PowerlawIter both build on this one helper — the
+// iterator's exact-replay guarantee depends on the two consuming the RNG
+// identically, so the shared prep must never fork.
+func chungLuWeights(n int, exponent float64, maxWeight int, r *rng.RNG) (sorted []float64, total float64, perm []int32) {
+	z := rng.NewZipf(maxWeight, exponent)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(z.Sample(r))
+		total += w[i]
+	}
+	cnt := make([]int, maxWeight+1)
+	for _, x := range w {
+		cnt[int(x)]++
+	}
+	sorted = make([]float64, 0, n)
+	for x := maxWeight; x >= 1; x-- {
+		for j := 0; j < cnt[x]; j++ {
+			sorted = append(sorted, float64(x))
+		}
+	}
+	return sorted, total, r.Perm32(n)
 }
 
 // WeightedGNP samples G(n, p) and assigns each edge an independent weight

@@ -98,6 +98,81 @@ func (it *starIter) Next() (graph.Edge, bool) {
 	return e, true
 }
 
+// PowerlawIter returns an iterator over the edges of a Chung-Lu power-law
+// graph using the same Miller-Hagberg row skip-sampling and the same RNG
+// draw sequence as ChungLu: for any seed, collecting
+// PowerlawIter(n, exponent, maxWeight, rng.New(seed)) yields exactly
+// ChungLu(n, exponent, maxWeight, rng.New(seed)).Edges. The iterator holds
+// O(n) state (the sorted weight sequence and the relabeling permutation) but
+// never the O(m) edge list, closing the one streaming gap the CLI used to
+// have: powerlaw workloads now shard without being materialized. Panics on
+// invalid parameters, like ChungLu.
+func PowerlawIter(n int, exponent float64, maxWeight int, r *rng.RNG) EdgeIter {
+	if n < 0 || maxWeight < 1 {
+		panic("gen: PowerlawIter with invalid parameters")
+	}
+	it := &powerlawIter{n: n, r: r}
+	if n < 2 {
+		it.done = true
+		return it
+	}
+	it.sorted, it.total, it.perm = chungLuWeights(n, exponent, maxWeight, r)
+	it.u = -1 // first Next advances to row 0
+	return it
+}
+
+type powerlawIter struct {
+	n      int
+	r      *rng.RNG
+	sorted []float64 // weights, descending
+	total  float64   // sum of weights
+	perm   []int32   // relabeling permutation
+	u      int       // current row (-1 before the first row)
+	v      int       // skip cursor within the row
+	pMax   float64   // row upper-bound probability
+	inRow  bool
+	done   bool
+}
+
+func (it *powerlawIter) Next() (graph.Edge, bool) {
+	if it.done {
+		return graph.Edge{}, false
+	}
+	for {
+		if !it.inRow {
+			it.u++
+			if it.u >= it.n-1 {
+				it.done = true
+				return graph.Edge{}, false
+			}
+			// Row upper bound: weights are sorted descending, so the largest
+			// pair probability in row u is with v = u+1 (as in ChungLu).
+			pMax := it.sorted[it.u] * it.sorted[it.u+1] / it.total
+			if pMax <= 0 {
+				continue
+			}
+			if pMax > 1 {
+				pMax = 1
+			}
+			it.pMax = pMax
+			it.v = it.u
+			it.inRow = true
+		}
+		it.v += it.r.Geometric(it.pMax) + 1
+		if it.v >= it.n {
+			it.inRow = false
+			continue
+		}
+		p := it.sorted[it.u] * it.sorted[it.v] / it.total
+		if p > 1 {
+			p = 1
+		}
+		if it.r.Bernoulli(p / it.pMax) {
+			return graph.Edge{U: it.perm[it.u], V: it.perm[it.v]}.Canon(), true
+		}
+	}
+}
+
 // SliceIter returns an iterator over a fixed edge slice, in order.
 func SliceIter(edges []graph.Edge) EdgeIter {
 	return &sliceIter{edges: edges}

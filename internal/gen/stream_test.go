@@ -72,3 +72,52 @@ func TestGNPIterPanicsOnBadParams(t *testing.T) {
 	}()
 	GNPIter(10, 1.5, rng.New(1))
 }
+
+// PowerlawIter must replay ChungLu's draw sequence exactly: same seed, same
+// edges in the same order — including the Zipf weight draws, the per-row
+// skip-sampling and the relabeling permutation.
+func TestPowerlawIterMatchesChungLu(t *testing.T) {
+	cases := []struct {
+		n         int
+		exponent  float64
+		maxWeight int
+		seed      uint64
+	}{
+		{2000, 2.0, 126, 1},
+		{2000, 2.0, 126, 2},
+		{500, 2.5, 40, 3},
+		{50, 2.0, 100, 4}, // maxWeight > n: pair probabilities clamp at 1
+		{3, 2.0, 1, 5},    // uniform weights
+		{1, 2.0, 10, 6},   // no edges, no draws
+		{0, 2.0, 10, 7},
+	}
+	for _, c := range cases {
+		want := ChungLu(c.n, c.exponent, c.maxWeight, rng.New(c.seed)).Edges
+		got := Collect(PowerlawIter(c.n, c.exponent, c.maxWeight, rng.New(c.seed)))
+		if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("n=%d maxW=%d seed=%d: iter %d edges != batch %d edges",
+				c.n, c.maxWeight, c.seed, len(got), len(want))
+		}
+	}
+}
+
+func TestPowerlawIterExhaustedStaysExhausted(t *testing.T) {
+	it := PowerlawIter(300, 2.0, 20, rng.New(9))
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator yielded an edge after exhaustion")
+	}
+}
+
+func TestPowerlawIterPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PowerlawIter(10, 2.0, 0, rng.New(1))
+}

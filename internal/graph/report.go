@@ -1,0 +1,42 @@
+package graph
+
+// RunReport is the JSON-able record of one distributed coreset run: the
+// input shape, the partitioning parameters, the composed solution size and
+// the per-machine / communication accounting. It is the schema shared by
+// cmd/coreset's -json output and the coresetd service API, so a CLI run and
+// a service job describe themselves identically and downstream tooling can
+// consume either.
+//
+// Slice fields are indexed by machine. Fields that only one runtime produces
+// (StoredEdges, Live, Batches, EdgesPerSec for streaming; nothing is
+// batch-only) are omitted from the JSON encoding when empty.
+type RunReport struct {
+	Task string `json:"task"` // "matching" | "vc"
+	Mode string `json:"mode"` // "batch" | "stream"
+	N    int    `json:"n"`    // vertices
+	M    int    `json:"m"`    // edges read
+	K    int    `json:"k"`    // machines
+	Seed uint64 `json:"seed"` // partitioning seed
+
+	// SolutionSize is the composed matching size (edges) or vertex cover
+	// size (vertices).
+	SolutionSize int `json:"solutionSize"`
+
+	PartEdges []int `json:"partEdges,omitempty"` // edges routed to each machine
+	// StoredEdges is how many edges each machine still held at end of
+	// stream (streaming only; online peeling can make it < PartEdges).
+	StoredEdges []int `json:"storedEdges,omitempty"`
+	// Live is each machine's online telemetry at end of stream (streaming
+	// only): greedy matching size (matching) or vertices peeled online (vc).
+	Live         []int `json:"live,omitempty"`
+	CoresetEdges []int `json:"coresetEdges"`           // edges per coreset message
+	CoresetFixed []int `json:"coresetFixed,omitempty"` // fixed vertices per message (vc)
+
+	TotalCommBytes   int `json:"totalCommBytes"`
+	MaxMachineBytes  int `json:"maxMachineBytes"`
+	CompositionEdges int `json:"compositionEdges"`
+	Batches          int `json:"batches,omitempty"` // source batches (streaming)
+
+	DurationMS  float64 `json:"durationMs"`
+	EdgesPerSec float64 `json:"edgesPerSec,omitempty"`
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Key identifies a coreset computation completely: same graph, task,
+// machine count, seed and mode means the pipeline is deterministic and the
+// composed report is byte-for-byte reusable. That determinism — the batch
+// partitioner and the streaming hash sharder are both pure functions of the
+// seed — is what makes result caching sound. Gen is the registry entry's
+// generation, not its ID alone, so a different graph re-registered under a
+// reused ID can never be served the old graph's results. Batch is included
+// because, while the composed solution is batch-size-invariant, the report's
+// telemetry (batches, duration, throughput) is not.
+type Key struct {
+	Graph string
+	Gen   int64
+	Task  string
+	K     int
+	Seed  uint64
+	Mode  string
+	Batch int
+}
+
+func jobKey(r CreateJobRequest, gen int64) Key {
+	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch}
+}
+
+// Cache is an LRU result cache with hit/miss counters. Stored reports are
+// treated as immutable by all readers.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int // max entries (<= 0: unbounded)
+	ll     *list.List
+	byKey  map[Key]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key Key
+	rep *graph.RunReport
+}
+
+// NewCache returns a cache holding up to cap reports (<= 0: unbounded).
+func NewCache(cap int) *Cache {
+	return &Cache{cap: cap, ll: list.New(), byKey: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached report for k, counting a hit or a miss.
+func (c *Cache) Get(k Key) (*graph.RunReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// Put stores a report, evicting the least-recently-used entry beyond cap.
+func (c *Cache) Put(k Key, rep *graph.RunReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, rep: rep})
+	if c.cap > 0 && c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}

@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// Sentinel errors Submit maps to HTTP statuses.
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: shutting down")
+	ErrUnknownGraph = errors.New("service: unknown graph")
+)
+
+// JobState is a job's lifecycle position. Transitions are
+// queued → running → {done, failed, canceled}; a queued job canceled before
+// a worker picks it up goes straight to canceled.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one coreset computation tracked by the manager. All mutable state
+// is behind mu; done is closed exactly once when the job reaches a terminal
+// state, which is what GET /v1/jobs/{id}?wait= blocks on.
+type Job struct {
+	ID  string
+	Req CreateJobRequest
+	key Key // cache key, pinned at submission (includes the graph generation)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	state  JobState
+	cached bool
+	err    error
+	result *graph.RunReport
+}
+
+// Cancel requests cancellation: a queued job is dropped when dequeued, a
+// running streaming job stops at the next batch boundary. Safe to call in
+// any state, any number of times.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// View returns the API representation of the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.ID, State: string(j.state), Cached: j.cached, Request: j.Req, Result: j.result}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state and releases waiters.
+func (j *Job) finish(rep *graph.RunReport, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state, j.result = JobDone, rep
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state, j.err = JobCanceled, err
+	default:
+		j.state, j.err = JobFailed, err
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources in every path
+	close(j.done)
+}
+
+// Manager runs coreset jobs on a bounded worker pool fed by a bounded
+// queue. Submission is admission-controlled (a full queue rejects rather
+// than blocks), results of successful runs are published to the cache, and
+// Shutdown drains: no new submissions, every already-accepted job runs (or
+// observes its cancellation), and all workers exit before Shutdown returns.
+type Manager struct {
+	reg       *Registry
+	cache     *Cache
+	queue     chan *Job
+	workers   int
+	retention int
+	wg        sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	terminal  []string // terminal job IDs, oldest first (retention FIFO)
+	seq       int
+	closed    bool
+	submitted int64
+	// Cumulative terminal-state counters: they survive retention pruning,
+	// so /v1/stats keeps honest lifetime totals.
+	nDone, nFailed, nCanceled int64
+}
+
+// NewManager starts workers goroutines consuming a queue of queueDepth
+// pending jobs. The most recent `retention` terminal jobs stay pollable;
+// older ones are pruned so a long-running daemon's memory stays bounded
+// (<= 0: keep everything).
+func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		reg:        reg,
+		cache:      cache,
+		queue:      make(chan *Job, queueDepth),
+		workers:    workers,
+		retention:  retention,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Workers returns the pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// Submit validates and enqueues a job. On a cache hit the returned job is
+// already done, carries the cached report, and never touches the queue — the
+// service's core promise: a repeated query re-runs nothing.
+func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
+	gen, ok := m.reg.Generation(req.Graph)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph)
+	}
+	key := jobKey(req, gen)
+	rep, hit := m.cache.Get(key)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID:     fmt.Sprintf("j-%d", m.seq),
+		Req:    req,
+		key:    key,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  JobQueued,
+	}
+	if hit {
+		j.state, j.cached, j.result = JobDone, true, rep
+		cancel()
+		close(j.done)
+		m.jobs[j.ID] = j
+		m.submitted++
+		m.noteTerminalLocked(j)
+		return j, nil
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.submitted++
+	return j, nil
+}
+
+// noteTerminalLocked records a terminal transition: bump the lifetime
+// counter and prune the oldest terminal jobs beyond the retention window.
+func (m *Manager) noteTerminalLocked(j *Job) {
+	switch j.State() {
+	case JobDone:
+		m.nDone++
+	case JobFailed:
+		m.nFailed++
+	case JobCanceled:
+		m.nCanceled++
+	}
+	m.terminal = append(m.terminal, j.ID)
+	if m.retention <= 0 {
+		return
+	}
+	for len(m.terminal) > m.retention {
+		delete(m.jobs, m.terminal[0])
+		m.terminal = m.terminal[1:]
+	}
+}
+
+// Get returns a tracked job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		if j.ctx.Err() != nil {
+			j.finish(nil, j.ctx.Err())
+		} else {
+			j.setRunning()
+			rep, err := m.execute(j)
+			if err == nil {
+				m.cache.Put(j.key, rep)
+			}
+			j.finish(rep, err)
+		}
+		m.mu.Lock()
+		m.noteTerminalLocked(j)
+		m.mu.Unlock()
+	}
+}
+
+// execute pins the job's graph and runs the requested pipeline. Streaming
+// jobs honor the job context at batch granularity; batch jobs check it
+// before and after the (uninterruptible) core pipeline call.
+func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
+	entry, err := m.reg.Acquire(j.Req.Graph)
+	if err != nil {
+		return nil, err // evicted or removed since submission
+	}
+	defer m.reg.Release(entry)
+	if entry.Generation() != j.key.Gen {
+		// The ID was re-registered between submission and execution; running
+		// against the new graph would publish its result under the old key.
+		return nil, fmt.Errorf("service: graph %q was replaced while job %s was queued", j.Req.Graph, j.ID)
+	}
+
+	req := j.Req
+	if req.Mode == ModeStream {
+		src, err := entry.Source()
+		if err != nil {
+			return nil, err
+		}
+		cfg := stream.Config{K: req.K, Seed: req.Seed, BatchSize: req.Batch}
+		switch req.Task {
+		case TaskMatching:
+			sol, st, err := stream.MatchingContext(j.ctx, src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return st.Report(req.Task, req.Seed, sol.Size()), nil
+		default: // TaskVC
+			cover, st, err := stream.VertexCoverContext(j.ctx, src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return st.Report(req.Task, req.Seed, len(cover)), nil
+		}
+	}
+
+	g, err := entry.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		size int
+		st   *core.PipelineStats
+	)
+	switch req.Task {
+	case TaskMatching:
+		sol, pst := core.DistributedMatching(g, req.K, 0, req.Seed)
+		size, st = sol.Size(), pst
+	default: // TaskVC
+		cover, pst := core.DistributedVertexCover(g, req.K, 0, req.Seed)
+		size, st = len(cover), pst
+	}
+	d := time.Since(start)
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return st.Report(req.Task, g.N, g.M(), req.Seed, size, d), nil
+}
+
+// Stats counts jobs by state. Terminal counts are lifetime totals (they
+// survive retention pruning); queued/running are scanned from the retained
+// set, which always contains every non-terminal job.
+func (m *Manager) Stats() JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStats{
+		Submitted: m.submitted,
+		QueueLen:  len(m.queue),
+		Done:      int(m.nDone),
+		Failed:    int(m.nFailed),
+		Canceled:  int(m.nCanceled),
+	}
+	for _, j := range m.jobs {
+		switch j.State() {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown stops accepting jobs and drains the pool: every accepted job
+// reaches a terminal state and every worker goroutine exits before Shutdown
+// returns. If ctx expires first, all outstanding job contexts are canceled
+// (streaming jobs stop at the next batch boundary) and Shutdown still waits
+// for the workers to exit, returning the ctx error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.baseCancel()
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the job worker pool size (default 4).
+	Workers int
+	// QueueDepth is the pending-job queue length; a full queue returns
+	// HTTP 503 (default 64).
+	QueueDepth int
+	// MaxGraphs caps resident registry entries; idle graphs beyond it are
+	// evicted LRU-first (default 64, < 0 for unlimited).
+	MaxGraphs int
+	// CacheSize caps cached run reports (default 256, < 0 for unlimited).
+	CacheSize int
+	// MaxUploadBytes caps a POST /v1/graphs body (default 256 MiB).
+	MaxUploadBytes int64
+	// JobRetention is how many terminal jobs stay pollable before the
+	// oldest are pruned (default 4096, < 0 to keep everything).
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGraphs == 0 {
+		c.MaxGraphs = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 4096
+	}
+	return c
+}
+
+// Server wires the registry, job manager and result cache behind the HTTP
+// API. It is an http.Handler; the caller owns the http.Server (and so the
+// listener lifecycle), and calls Shutdown to drain the job pool.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	mgr   *Manager
+	cache *Cache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a ready-to-serve service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.MaxGraphs),
+		cache: NewCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the job manager; see Manager.Shutdown. Call it after the
+// http.Server has stopped accepting requests.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// Manager exposes the job manager (load tools and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Registry exposes the graph registry (tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleCreateGraph ingests a graph. A JSON body carries a
+// CreateGraphRequest (generator spec or inline edge list); any other
+// content type is treated as raw edge-list text with the ID taken from the
+// ?id= query parameter.
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+
+	// Non-JSON bodies are raw edge-list text, parsed incrementally straight
+	// off the wire — the body is never buffered whole.
+	if ct != "application/json" {
+		s.addEdgeList(w, r.URL.Query().Get("id"), r.Body)
+		return
+	}
+
+	var req CreateGraphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	switch {
+	case req.Gen != nil && req.EdgeList != "":
+		writeErr(w, http.StatusBadRequest, "body must set exactly one of gen and edgeList")
+	case req.Gen != nil:
+		s.addSpec(w, req.ID, req.Gen)
+	case req.EdgeList != "":
+		s.addEdgeList(w, req.ID, strings.NewReader(req.EdgeList))
+	default:
+		writeErr(w, http.StatusBadRequest, "body must set one of gen and edgeList")
+	}
+}
+
+func (s *Server) addEdgeList(w http.ResponseWriter, id string, body io.Reader) {
+	g, err := graph.ReadEdgeList(body)
+	if err == nil {
+		err = g.Validate()
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid edge list: %v", err)
+		return
+	}
+	s.finishAdd(w, func() (GraphInfo, error) { return s.reg.AddGraph(id, g) })
+}
+
+func (s *Server) addSpec(w http.ResponseWriter, id string, spec *GenSpec) {
+	s.finishAdd(w, func() (GraphInfo, error) { return s.reg.AddSpec(id, spec) })
+}
+
+func (s *Server) finishAdd(w http.ResponseWriter, add func() (GraphInfo, error)) {
+	info, err := add()
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Info(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Remove(r.PathValue("id")); err != nil {
+		code := http.StatusNotFound
+		if strings.Contains(err.Error(), "in use") {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCreateJob submits a job. Cache hits come back already done (HTTP
+// 200); fresh submissions are accepted asynchronously (HTTP 202).
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	// A job request is a handful of scalars; cap the body so a hostile
+	// client cannot make the decoder buffer arbitrary memory.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req CreateJobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	j, err := s.mgr.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownGraph):
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := j.View()
+	if v.State == string(JobDone) {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleGetJob returns a job, optionally long-polling: ?wait=2s blocks until
+// the job reaches a terminal state or the duration (capped at 30s) elapses,
+// whichever comes first. Pollers get the job's current view either way.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid wait duration %q", waitStr)
+			return
+		}
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.Done():
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsView{
+		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+		Workers:  s.mgr.Workers(),
+		Graphs:   s.reg.Stats(),
+		Jobs:     s.mgr.Stats(),
+		Cache:    s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

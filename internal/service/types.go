@@ -1,0 +1,214 @@
+// Package service is the long-running coreset daemon: it keeps graphs and
+// their coresets resident so that the summaries the paper proves reusable
+// (a randomized composable coreset is computed once and composed into many
+// answers) are actually reused across queries instead of being recomputed
+// per CLI invocation.
+//
+// The subsystem has four parts, each in its own file:
+//
+//   - Registry (registry.go): graphs ingested by upload (edge-list text) or
+//     by generator spec, held under string IDs with ref-counting and LRU
+//     eviction.
+//   - Manager (jobs.go): an async job manager with a bounded worker pool;
+//     coreset jobs (task, k, seed, mode) run off a bounded queue with
+//     context cancellation and graceful drain.
+//   - Cache (cache.go): composed run reports keyed by
+//     (graph, task, k, seed, mode) with hit/miss counters, so repeated
+//     queries are served from memory.
+//   - Server (server.go): the stdlib HTTP/JSON API wiring the three
+//     together — POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
+//     GET /v1/stats, plus /healthz.
+//
+// This file holds the wire types shared by the handlers, the CLI tools and
+// the tests.
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Task names accepted by the job API.
+const (
+	TaskMatching = "matching"
+	TaskVC       = "vc"
+)
+
+// Execution modes accepted by the job API.
+const (
+	ModeBatch  = "batch"
+	ModeStream = "stream"
+)
+
+// Hard sanity caps on request parameters: a single unauthenticated request
+// must not be able to make the daemon allocate per-machine or per-vertex
+// state without bound. Both are far above every workload in this repository.
+const (
+	// MaxJobK caps machines per job (k goroutines, channels and coreset
+	// slices are allocated per machine).
+	MaxJobK = 1 << 16
+	// MaxGraphN caps vertices in a generator spec or upload (per-machine VC
+	// state is O(n)).
+	MaxGraphN = 1 << 28
+	// MaxJobBatch caps the streaming batch size (the sharder allocates
+	// O(k*batch) buffer space).
+	MaxJobBatch = 1 << 20
+)
+
+// GenSpec describes a synthetic graph by generator name and parameters. The
+// parameter mapping matches cmd/coreset's -gen flags exactly, so a spec
+// submitted to the service names the same graph a CLI run would build:
+// gnp is G(n, Deg/n), star is K_{1,n-1}, powerlaw is Chung-Lu with exponent
+// 2 and weight cap n/16+1.
+type GenSpec struct {
+	Name string  `json:"name"`           // gnp | star | powerlaw
+	N    int     `json:"n"`              // vertices
+	Deg  float64 `json:"deg,omitempty"`  // average degree (gnp)
+	Seed uint64  `json:"seed,omitempty"` // generator seed
+}
+
+// Validate checks the spec without sampling anything.
+func (s *GenSpec) Validate() error {
+	if s.N > MaxGraphN {
+		return fmt.Errorf("service: n=%d exceeds the cap of %d vertices", s.N, MaxGraphN)
+	}
+	switch s.Name {
+	case "gnp", "powerlaw":
+		if s.N < 0 || s.Deg < 0 || (s.N > 0 && s.Deg > float64(s.N)) {
+			return fmt.Errorf("service: invalid %s spec (n=%d deg=%g)", s.Name, s.N, s.Deg)
+		}
+	case "star":
+		if s.N < 1 {
+			return fmt.Errorf("service: invalid star spec (n=%d)", s.N)
+		}
+	default:
+		return fmt.Errorf("service: unknown generator %q", s.Name)
+	}
+	return nil
+}
+
+// Iter mints a fresh edge iterator replaying the spec's draw sequence from
+// its seed. Every call returns an independent iterator, so concurrent jobs
+// can stream the same spec simultaneously.
+func (s *GenSpec) Iter() (gen.EdgeIter, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Name {
+	case "gnp":
+		return gen.GNPIter(s.N, s.Deg/float64(s.N), rng.New(s.Seed)), nil
+	case "star":
+		return gen.StarIter(s.N), nil
+	default: // powerlaw
+		return gen.PowerlawIter(s.N, 2.0, s.N/16+1, rng.New(s.Seed)), nil
+	}
+}
+
+// Source mints a fresh streaming edge source for the spec.
+func (s *GenSpec) Source() (stream.EdgeSource, error) {
+	it, err := s.Iter()
+	if err != nil {
+		return nil, err
+	}
+	return stream.NewIterSource(s.N, it), nil
+}
+
+// CreateGraphRequest is the JSON body of POST /v1/graphs. Exactly one of
+// Gen and EdgeList must be set. ID is optional; the registry assigns one
+// when empty.
+type CreateGraphRequest struct {
+	ID       string   `json:"id,omitempty"`
+	Gen      *GenSpec `json:"gen,omitempty"`
+	EdgeList string   `json:"edgeList,omitempty"` // inline text edge list (cmd/coreset format)
+}
+
+// GraphInfo describes a registered graph. M is -1 for generator-backed
+// entries, whose edge count is not known until a job streams them.
+type GraphInfo struct {
+	ID     string   `json:"id"`
+	Source string   `json:"source"` // "upload" | "gen"
+	N      int      `json:"n"`
+	M      int      `json:"m"`
+	Bytes  int64    `json:"bytes"` // approximate resident size
+	Refs   int      `json:"refs"`  // jobs currently using the graph
+	Gen    *GenSpec `json:"gen,omitempty"`
+}
+
+// CreateJobRequest is the JSON body of POST /v1/jobs.
+type CreateJobRequest struct {
+	Graph string `json:"graph"`           // registry ID
+	Task  string `json:"task"`            // matching | vc
+	K     int    `json:"k"`               // number of machines
+	Seed  uint64 `json:"seed"`            // partitioning seed
+	Mode  string `json:"mode,omitempty"`  // batch | stream (default stream)
+	Batch int    `json:"batch,omitempty"` // streaming batch size (0 = default)
+}
+
+func (r *CreateJobRequest) normalize() error {
+	if r.Mode == "" {
+		r.Mode = ModeStream
+	}
+	if r.Task != TaskMatching && r.Task != TaskVC {
+		return fmt.Errorf("service: unknown task %q", r.Task)
+	}
+	if r.Mode != ModeBatch && r.Mode != ModeStream {
+		return fmt.Errorf("service: unknown mode %q", r.Mode)
+	}
+	if r.K <= 0 || r.K > MaxJobK {
+		return fmt.Errorf("service: k must be in [1, %d] (got %d)", MaxJobK, r.K)
+	}
+	if r.Batch < 0 || r.Batch > MaxJobBatch {
+		return fmt.Errorf("service: batch must be in [0, %d] (got %d)", MaxJobBatch, r.Batch)
+	}
+	return nil
+}
+
+// JobView is the API representation of a job, returned by POST /v1/jobs and
+// GET /v1/jobs/{id}. Result is set once State is "done".
+type JobView struct {
+	ID      string           `json:"id"`
+	State   string           `json:"state"` // queued | running | done | failed | canceled
+	Cached  bool             `json:"cached,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	Request CreateJobRequest `json:"request"`
+	Result  *graph.RunReport `json:"result,omitempty"`
+}
+
+// StatsView is the JSON body of GET /v1/stats.
+type StatsView struct {
+	UptimeMS float64       `json:"uptimeMs"`
+	Workers  int           `json:"workers"`
+	Graphs   RegistryStats `json:"graphs"`
+	Jobs     JobStats      `json:"jobs"`
+	Cache    CacheStats    `json:"cache"`
+}
+
+// RegistryStats summarizes the graph registry.
+type RegistryStats struct {
+	Count     int   `json:"count"`
+	Bytes     int64 `json:"bytes"`
+	Adds      int64 `json:"adds"`
+	Evictions int64 `json:"evictions"`
+}
+
+// JobStats counts jobs by state plus queue occupancy.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	Canceled  int   `json:"canceled"`
+	QueueLen  int   `json:"queueLen"`
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}

@@ -25,6 +25,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
@@ -94,12 +95,47 @@ func (s *Stats) EdgesPerSec() float64 {
 	return float64(s.EdgesTotal) / s.Duration.Seconds()
 }
 
+// Report assembles the shared JSON-able run report for a streaming run.
+// The schema (graph.RunReport) is shared with the batch pipeline and the
+// coresetd service.
+func (s *Stats) Report(task string, seed uint64, solutionSize int) *graph.RunReport {
+	return &graph.RunReport{
+		Task:             task,
+		Mode:             "stream",
+		N:                s.N,
+		M:                s.EdgesTotal,
+		K:                s.K,
+		Seed:             seed,
+		SolutionSize:     solutionSize,
+		PartEdges:        s.PartEdges,
+		StoredEdges:      s.StoredEdges,
+		Live:             s.Live,
+		CoresetEdges:     s.CoresetEdges,
+		CoresetFixed:     s.CoresetFixed,
+		TotalCommBytes:   s.TotalCommBytes,
+		MaxMachineBytes:  s.MaxMachineBytes,
+		CompositionEdges: s.CompositionEdges,
+		Batches:          s.Batches,
+		DurationMS:       float64(s.Duration.Microseconds()) / 1000,
+		EdgesPerSec:      s.EdgesPerSec(),
+	}
+}
+
 // Matching runs the full Theorem 1 pipeline over the stream: hash-shard the
 // edges across cfg.K machines, maintain per-machine coresets incrementally,
 // and compose a maximum matching of the union of the summaries.
 func Matching(src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
+	return MatchingContext(context.Background(), src, cfg)
+}
+
+// MatchingContext is Matching with cooperative cancellation: when ctx is
+// canceled the sharder stops routing at the next batch boundary, the machine
+// goroutines are torn down without emitting summaries, and the ctx error is
+// returned. It is the hook long-running callers (the coresetd job manager)
+// use to abandon a pipeline mid-stream without leaking goroutines.
+func MatchingContext(ctx context.Context, src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
 	start := time.Now()
-	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
 		return newMatchingBuilder()
 	})
 	if err != nil {
@@ -119,8 +155,14 @@ func Matching(src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
 // VertexCover runs the full Theorem 2 pipeline over the stream and returns
 // the composed cover.
 func VertexCover(src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
+	return VertexCoverContext(context.Background(), src, cfg)
+}
+
+// VertexCoverContext is VertexCover with cooperative cancellation; see
+// MatchingContext.
+func VertexCoverContext(ctx context.Context, src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
 	start := time.Now()
-	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
 		return newVCBuilder(cfg.K, nHint)
 	})
 	if err != nil {
@@ -143,7 +185,7 @@ func VertexCover(src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
 // parity tests compare it against the partition.ByAssignment oracle, and
 // alternative backends can use it to feed machines that live elsewhere.
 func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
-	sums, st, err := run(src, cfg, func(machine, nHint int) builder {
+	sums, st, err := run(context.Background(), src, cfg, func(machine, nHint int) builder {
 		return &collectBuilder{}
 	})
 	if err != nil {
@@ -160,7 +202,11 @@ func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
 // shards, k goroutines consume and build, and the final vertex count is
 // published to the machines only after the stream is drained (the
 // close(nReady) edge is the happens-before that makes this race-free).
-func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]summary, *Stats, error) {
+// Cancellation is cooperative at batch granularity: ctx is checked once per
+// source batch and on every (possibly blocking) channel send; an in-progress
+// per-machine finish computation is never interrupted, but canceled runs
+// skip finish entirely.
+func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]summary, *Stats, error) {
 	if src == nil {
 		return nil, nil, errors.New("stream: nil source")
 	}
@@ -200,6 +246,8 @@ func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]sum
 			case <-nReady:
 			case <-abort:
 				return
+			case <-ctx.Done():
+				return
 			}
 			s := b.finish(nFinal)
 			s.machine = machine
@@ -215,13 +263,29 @@ func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]sum
 	}
 
 	// Shard stage: read batches from the source, route each edge by hash,
-	// flush per-machine mini-batches as they fill.
+	// flush per-machine mini-batches as they fill. send blocks on the
+	// machine's channel but never past cancellation (for a background ctx,
+	// Done() is nil and the select degenerates to a plain send).
 	bs := cfg.batchSize()
 	buf := make([]graph.Edge, bs)
 	pending := make([][]graph.Edge, k)
 	total, batches := 0, 0
 	var srcErr error
+	send := func(i int) bool {
+		select {
+		case chans[i] <- pending[i]:
+			pending[i] = nil
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+shard:
 	for {
+		if err := ctx.Err(); err != nil {
+			srcErr = err
+			break
+		}
 		c, err := src.Next(buf)
 		if c > 0 {
 			total += c
@@ -232,9 +296,9 @@ func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]sum
 					pending[i] = make([]graph.Edge, 0, bs)
 				}
 				pending[i] = append(pending[i], e)
-				if len(pending[i]) == bs {
-					chans[i] <- pending[i]
-					pending[i] = nil
+				if len(pending[i]) == bs && !send(i) {
+					srcErr = ctx.Err()
+					break shard
 				}
 			}
 		}
@@ -252,8 +316,11 @@ func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]sum
 		return nil, nil, srcErr
 	}
 	for i, p := range pending {
-		if len(p) > 0 {
-			chans[i] <- p
+		if len(p) > 0 && !send(i) {
+			close(abort)
+			closeAll()
+			wg.Wait()
+			return nil, nil, ctx.Err()
 		}
 	}
 	closeAll()
@@ -262,6 +329,11 @@ func run(src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]sum
 	close(nReady)
 	wg.Wait()
 	close(results)
+	// A machine that observed cancellation in its final select exits without
+	// emitting a summary; composing from a partial set would be wrong.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	sums := make([]summary, k)
 	st := &Stats{

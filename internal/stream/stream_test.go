@@ -2,6 +2,8 @@ package stream
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"strconv"
 	"strings"
@@ -309,5 +311,74 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if st.EdgesPerSec() <= 0 {
 		t.Fatal("throughput not reported")
+	}
+}
+
+// cancelSource wraps a source and cancels the context after a fixed number
+// of Next calls, then keeps producing: the pipeline, not the source, must
+// notice the cancellation and stop early.
+type cancelSource struct {
+	inner  EdgeSource
+	cancel func()
+	after  int
+	calls  int
+}
+
+func (s *cancelSource) Next(buf []graph.Edge) (int, error) {
+	s.calls++
+	if s.calls == s.after {
+		s.cancel()
+	}
+	return s.inner.Next(buf)
+}
+
+func (s *cancelSource) NumVertices() int   { return s.inner.NumVertices() }
+func (s *cancelSource) KnownUpfront() bool { return s.inner.KnownUpfront() }
+
+func TestMatchingContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.GNP(200, 0.05, rng.New(1))
+	_, _, err := MatchingContext(ctx, NewGraphSource(g), Config{K: 3, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMatchingContextCanceledMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := gen.GNP(2000, 0.01, rng.New(2))
+	src := &cancelSource{inner: NewGraphSource(g), cancel: cancel, after: 2}
+	_, _, err := MatchingContext(ctx, src, Config{K: 4, Seed: 2, BatchSize: 64})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestVertexCoverContextCanceledMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := gen.GNP(2000, 0.01, rng.New(3))
+	src := &cancelSource{inner: NewGraphSource(g), cancel: cancel, after: 2}
+	_, _, err := VertexCoverContext(ctx, src, Config{K: 4, Seed: 3, BatchSize: 64})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A background context must leave the pipeline's behavior untouched.
+func TestMatchingContextBackgroundMatchesMatching(t *testing.T) {
+	g := gen.GNP(1500, 0.008, rng.New(4))
+	want, _, err := Matching(NewGraphSource(g), Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := MatchingContext(context.Background(), NewGraphSource(g), Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Size() != got.Size() {
+		t.Fatalf("sizes differ: %d vs %d", want.Size(), got.Size())
 	}
 }
