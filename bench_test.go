@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per experiment (E1..E19, the paper's
+// Benchmark harness: one benchmark per experiment (E1..E20, the paper's
 // "tables and figures" plus the systems experiments) and micro-benchmarks of
 // the hot kernels. Each
 // experiment benchmark executes the same code path as cmd/experiments -quick
@@ -10,9 +10,11 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/gen"
@@ -60,6 +62,7 @@ func BenchmarkE16HVPGame(b *testing.B)             { benchExperiment(b, "E16") }
 func BenchmarkE17GreedyTrajectory(b *testing.B)    { benchExperiment(b, "E17") }
 func BenchmarkE18PeelingSandwich(b *testing.B)     { benchExperiment(b, "E18") }
 func BenchmarkE19StreamVsBatch(b *testing.B)       { benchExperiment(b, "E19") }
+func BenchmarkE20ClusterComm(b *testing.B)         { benchExperiment(b, "E20") }
 
 // --- kernel micro-benchmarks -------------------------------------------
 
@@ -189,6 +192,52 @@ func BenchmarkStreamPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+}
+
+// BenchmarkClusterVsStream compares the cluster runtime (k worker processes'
+// worth of machines behind real TCP on loopback, measured wire bytes)
+// against the in-process streaming runtime on the same (graph, seed, k).
+// The answers are identical by construction; the benchmark prices the wire.
+// Baseline numbers are committed in BENCH_cluster.json.
+func BenchmarkClusterVsStream(b *testing.B) {
+	g := benchGraph(16384, 8, 23)
+	const k = 8
+	addrs, shutdown, err := cluster.ServeLoopback(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer shutdown()
+	b.Run("cluster", func(b *testing.B) {
+		comm := 0
+		for i := 0; i < b.N; i++ {
+			m, st, err := cluster.Matching(context.Background(), stream.NewGraphSource(g),
+				cluster.Config{Workers: addrs, Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Size() == 0 {
+				b.Fatal("empty matching")
+			}
+			comm = st.TotalCommBytes
+		}
+		b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+		b.ReportMetric(float64(comm), "commbytes")
+	})
+	b.Run("stream", func(b *testing.B) {
+		comm := 0
+		for i := 0; i < b.N; i++ {
+			m, st, err := stream.Matching(stream.NewGraphSource(g), stream.Config{K: k, Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Size() == 0 {
+				b.Fatal("empty matching")
+			}
+			comm = st.TotalCommBytes
+		}
+		b.ReportMetric(float64(g.M())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+		b.ReportMetric(float64(comm), "commbytes")
+	})
 }
 
 // BenchmarkStreamVsBatchSharding isolates the sharder: hash routing through

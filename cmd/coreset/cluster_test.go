@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// workerProcEnv diverts the test binary into worker mode, which is how the
+// "-cluster local" tests below fork REAL worker processes: TestMain re-execs
+// this very binary, SpawnLocal passes "-worker", and the child serves runs
+// over TCP exactly as a deployed cmd/coreset would.
+const workerProcEnv = "CORESET_TEST_WORKER_PROC"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerProcEnv) == "1" {
+		os.Exit(run([]string{"-worker"}, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestClusterFlagAgainstResidentWorkers: -cluster host:port,... must
+// reproduce the -stream answer exactly on the same (input, seed), with k
+// taken from the address list.
+func TestClusterFlagAgainstResidentWorkers(t *testing.T) {
+	addrs, shutdown, err := cluster.ServeLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	path := writePath10(t)
+
+	streamOut, _, code := runCLI(t, "-task", "matching", "-k", "2", "-seed", "3", "-stream", "-q", "-in", path)
+	if code != 0 {
+		t.Fatalf("stream run exited %d", code)
+	}
+	clusterOut, errOut, code := runCLI(t, "-task", "matching", "-seed", "3", "-cluster", strings.Join(addrs, ","), "-q", "-in", path)
+	if code != 0 {
+		t.Fatalf("cluster run exited %d, stderr: %s", code, errOut)
+	}
+	want := strings.Replace(streamOut, "streamed", "cluster", 1)
+	if clusterOut != want {
+		t.Fatalf("cluster stdout %q, want %q", clusterOut, want)
+	}
+}
+
+// TestClusterJSONReport: the -json report for a cluster run carries mode
+// "cluster", measured wire bytes and the simulated estimate alongside.
+func TestClusterJSONReport(t *testing.T) {
+	addrs, shutdown, err := cluster.ServeLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+
+	out, errOut, code := runCLI(t, "-task", "vc", "-seed", "3", "-cluster", strings.Join(addrs, ","), "-json", "-in", writePath10(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var rep graph.RunReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("decoding report: %v\n%s", err, out)
+	}
+	if rep.Mode != "cluster" || rep.K != 2 || rep.Task != "vc" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.TotalCommBytes <= 0 || rep.EstCommBytes <= 0 {
+		t.Fatalf("wire accounting missing: measured %d, est %d", rep.TotalCommBytes, rep.EstCommBytes)
+	}
+	if rep.TotalCommBytes < rep.EstCommBytes || rep.TotalCommBytes > 2*rep.EstCommBytes {
+		t.Fatalf("measured %d outside [est, 2*est] of %d", rep.TotalCommBytes, rep.EstCommBytes)
+	}
+	if rep.ShardBytes <= 0 {
+		t.Fatal("no shard traffic measured")
+	}
+}
+
+// TestClusterLocalSelfSpawn forks two real worker OS processes (this test
+// binary re-execed via TestMain) and runs a full cluster pipeline against
+// them — the "-cluster local" path end to end, answers pinned against
+// -stream.
+func TestClusterLocalSelfSpawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks processes")
+	}
+	t.Setenv(workerProcEnv, "1") // children inherit it and become workers
+	path := writePath10(t)
+
+	streamOut, _, code := runCLI(t, "-task", "vc", "-k", "2", "-seed", "3", "-stream", "-q", "-in", path)
+	if code != 0 {
+		t.Fatalf("stream run exited %d", code)
+	}
+	clusterOut, errOut, code := runCLI(t, "-task", "vc", "-k", "2", "-seed", "3", "-cluster", "local", "-q", "-in", path)
+	if code != 0 {
+		t.Fatalf("cluster local run exited %d, stderr: %s", code, errOut)
+	}
+	want := strings.Replace(streamOut, "streamed", "cluster", 1)
+	if clusterOut != want {
+		t.Fatalf("cluster stdout %q, want %q", clusterOut, want)
+	}
+}
+
+func TestClusterRejectsBadAddressList(t *testing.T) {
+	if _, errOut, code := runCLI(t, "-cluster", "a:1,,b:2", "-in", writePath10(t)); code == 0 || !strings.Contains(errOut, "empty worker address") {
+		t.Fatalf("empty address accepted (exit %d, stderr %q)", code, errOut)
+	}
+}
+
+// TestClusterUnreachableWorker: a dead address must fail the run with the
+// worker named on stderr, not hang.
+func TestClusterUnreachableWorker(t *testing.T) {
+	_, errOut, code := runCLI(t, "-task", "matching", "-seed", "1", "-cluster", "127.0.0.1:1", "-in", writePath10(t))
+	if code == 0 {
+		t.Fatal("run against dead worker succeeded")
+	}
+	if !strings.Contains(errOut, "worker 0 (127.0.0.1:1)") {
+		t.Fatalf("stderr %q does not name the failed worker", errOut)
+	}
+}

@@ -9,6 +9,8 @@
 //	coreset -task vc -k 8 -in graph.txt
 //	coreset -task matching -gen gnp -n 10000 -deg 8   (synthetic input)
 //	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
+//	coreset -task vc -cluster host:p1,host:p2 -in g   (cluster runtime)
+//	coreset -task vc -cluster local -k 4 -in g        (self-spawned workers)
 //
 // The default (batch) mode materializes the graph and partitions it with a
 // single sequential RNG. With -stream the input is never materialized:
@@ -19,6 +21,16 @@
 // incrementally and streams all three generators (gnp, star and powerlaw)
 // without ever building the edge list.
 //
+// With -cluster the machines are separate OS processes: either an existing
+// fleet of cmd/coresetworker processes named as comma-separated addresses
+// (one machine per address; -k is ignored), or "-cluster local", which
+// forks -k workers from this binary and tears them down after the run. The
+// sharding seed and per-machine algorithms are identical to -stream, so the
+// answers match bit for bit; what changes is that TotalCommBytes in the
+// report is measured off the TCP connections (the simulated estimate is
+// reported alongside as estCommBytes). The -worker flag is the internal
+// worker mode "-cluster local" forks; it serves runs until stdin closes.
+//
 // With -json the run report is emitted as a single JSON object using the
 // same schema (graph.RunReport) the coresetd service returns for jobs, so
 // CLI runs and service queries are interchangeable downstream.
@@ -28,14 +40,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -64,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "root seed")
 		workers   = fs.Int("workers", 0, "max goroutines in batch mode (0 = GOMAXPROCS)")
 		streaming = fs.Bool("stream", false, "use the streaming sharded runtime (never materializes the graph)")
+		clusterTo = fs.String("cluster", "", "use the cluster runtime: worker addresses host:p1,host:p2,... or 'local' to fork -k workers")
+		workerM   = fs.Bool("worker", false, "internal: run as a cluster worker until stdin closes (used by -cluster local)")
 		batch     = fs.Int("batch", 0, "streaming batch size in edges (0 = default)")
 		quiet     = fs.Bool("q", false, "print only the summary line")
 		jsonOut   = fs.Bool("json", false, "emit the run report as JSON (graph.RunReport schema)")
@@ -75,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *workerM {
+		return runWorker(stdout, stderr)
+	}
+	if *clusterTo != "" {
+		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *clusterTo, *quiet, *jsonOut, stdout, stderr)
+	}
 	if *streaming {
 		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *quiet, *jsonOut, stdout, stderr)
 	}
@@ -196,6 +220,116 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 		return 2
 	}
 	return 0
+}
+
+// runWorker is the internal worker mode "-cluster local" forks: serve runs
+// on an ephemeral loopback port, announce it with the ready line, and drain
+// when the parent closes our stdin.
+func runWorker(stdout, stderr io.Writer) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset: worker listen:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s%s\n", cluster.ReadyPrefix, ln.Addr())
+	w := cluster.NewWorker(log.New(stderr, "coreset-worker: ", 0))
+	go func() {
+		_, _ = io.Copy(io.Discard, os.Stdin) // parent closing the pipe is our stop signal
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = w.Shutdown(ctx)
+	}()
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintln(stderr, "coreset: worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// resolveCluster turns the -cluster flag into worker addresses, forking a
+// local fleet when asked. The returned cleanup (possibly nil) tears the
+// fleet down.
+func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, cleanup func(), err error) {
+	if spec != "local" {
+		addrs, err := cluster.ParseWorkerList(spec)
+		return addrs, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("-cluster local: %w", err)
+	}
+	lw, err := cluster.SpawnLocal(exe, []string{"-worker"}, k, stderr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lw.Addrs(), func() { _ = lw.Close() }, nil
+}
+
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+	addrs, cleanup, err := resolveCluster(spec, k, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	if closeSrc != nil {
+		defer closeSrc()
+	}
+	k = len(addrs) // one machine per worker address
+	cfg := cluster.Config{Workers: addrs, Seed: seed, BatchSize: batch}
+	ctx := context.Background()
+
+	switch task {
+	case "matching":
+		m, st, err := cluster.Matching(ctx, src, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, seed, m.Size()))
+		}
+		if !quiet {
+			printClusterStats(stdout, st)
+			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
+		}
+		fmt.Fprintf(stdout, "matching: %d edges (cluster, %d machines)\n", m.Size(), k)
+	case "vc":
+		cover, st, err := cluster.VertexCover(ctx, src, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report(task, seed, len(cover)))
+		}
+		if !quiet {
+			printClusterStats(stdout, st)
+			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
+			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
+		}
+		fmt.Fprintf(stdout, "vertex cover: %d vertices (cluster, %d machines)\n", len(cover), k)
+	default:
+		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
+		return 2
+	}
+	return 0
+}
+
+func printClusterStats(stdout io.Writer, st *cluster.Stats) {
+	fmt.Fprintf(stdout, "cluster: n=%d, %d edges in %d batches, k=%d worker processes\n",
+		st.N, st.EdgesTotal, st.Batches, st.K)
+	fmt.Fprintf(stdout, "communication (measured): total %d bytes, max machine %d bytes; simulated estimate %d bytes\n",
+		st.TotalCommBytes, st.MaxMachineBytes, st.EstCommBytes)
+	fmt.Fprintf(stdout, "shard traffic: %d bytes to workers; throughput %.0f edges/sec (%.1f ms)\n",
+		st.ShardBytes, st.EdgesPerSec(), float64(st.Duration.Microseconds())/1000)
 }
 
 func printStreamStats(stdout io.Writer, st *stream.Stats) {

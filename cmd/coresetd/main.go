@@ -6,6 +6,12 @@
 // Usage:
 //
 //	coresetd -addr :8440
+//	coresetd -addr :8440 -cluster host:9601,host:9602
+//
+// With -cluster the daemon can also dispatch jobs to a fleet of resident
+// cmd/coresetworker processes: a job with mode "cluster" (k must equal the
+// fleet size) runs the coordinator against them and its report carries
+// measured wire bytes next to the simulated estimate.
 //
 // API (JSON unless noted):
 //
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -53,6 +60,7 @@ func run(args []string, stderr *os.File) int {
 		maxGraphs = fs.Int("max-graphs", 64, "resident graph cap (idle graphs beyond it are evicted)")
 		cacheCap  = fs.Int("cache", 256, "result cache capacity (entries)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		clusterW  = fs.String("cluster", "", "comma-separated coresetworker addresses; enables jobs with mode 'cluster'")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,11 +70,21 @@ func run(args []string, stderr *os.File) int {
 	}
 	logger := log.New(stderr, "coresetd: ", log.LstdFlags)
 
+	var fleet []string
+	if *clusterW != "" {
+		parsed, err := cluster.ParseWorkerList(*clusterW)
+		if err != nil {
+			logger.Printf("-cluster: %v", err)
+			return 2
+		}
+		fleet = parsed
+	}
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxGraphs:  *maxGraphs,
-		CacheSize:  *cacheCap,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxGraphs:      *maxGraphs,
+		CacheSize:      *cacheCap,
+		ClusterWorkers: fleet,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,
@@ -78,6 +96,9 @@ func run(args []string, stderr *os.File) int {
 	if err != nil {
 		logger.Printf("listen: %v", err)
 		return 1
+	}
+	if len(fleet) > 0 {
+		logger.Printf("cluster fleet: %d workers (%s)", len(fleet), *clusterW)
 	}
 	logger.Printf("serving on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
 

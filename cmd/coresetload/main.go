@@ -1,18 +1,29 @@
-// Command coresetload is the load generator for coresetd: it registers a
-// graph, fires a stream of jobs from concurrent clients, long-polls each to
-// completion and reports client-side latency percentiles plus the server's
-// cache counters. Cycling a small seed set (-seeds) makes repeated keys hit
-// the result cache, so the tool doubles as a demonstration that cached
-// queries are orders of magnitude cheaper than cold ones.
+// Command coresetload is the load generator for coreset deployments. Its
+// default target is a coresetd daemon: it registers a graph, fires a stream
+// of jobs from concurrent clients, long-polls each to completion and reports
+// client-side latency percentiles plus the server's cache counters. Cycling
+// a small seed set (-seeds) makes repeated keys hit the result cache, so the
+// tool doubles as a demonstration that cached queries are orders of
+// magnitude cheaper than cold ones.
+//
+// With -target cluster it instead drives a coordinator+workers deployment
+// directly: each job is a full cluster run (shard over TCP to the
+// coresetworker fleet named by -cluster, compose the returned coresets),
+// and the same workload is replayed through the in-process streaming
+// runtime, so the end-to-end cluster latency percentiles print next to the
+// in-process numbers they should be judged against.
 //
 // Usage:
 //
 //	coresetload -addr http://127.0.0.1:8440 -gen gnp -n 20000 -deg 8 \
 //	            -task matching -k 4 -jobs 32 -c 4 -seeds 4
+//	coresetload -target cluster -cluster 127.0.0.1:9601,127.0.0.1:9602 \
+//	            -gen gnp -n 20000 -deg 8 -task matching -jobs 16 -c 2
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -24,7 +35,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -35,18 +48,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("coresetload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", "http://127.0.0.1:8440", "coresetd base URL")
-		genName = fs.String("gen", "gnp", "graph generator: gnp | star | powerlaw")
-		n       = fs.Int("n", 20000, "vertices")
-		deg     = fs.Float64("deg", 8, "average degree (gnp)")
-		gseed   = fs.Uint64("graphseed", 1, "generator seed")
-		task    = fs.String("task", "matching", "job task: matching | vc")
-		k       = fs.Int("k", 4, "machines per job")
-		mode    = fs.String("mode", "stream", "job mode: stream | batch")
-		jobs    = fs.Int("jobs", 32, "total jobs to run")
-		conc    = fs.Int("c", 4, "concurrent clients")
-		seeds   = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the cache)")
-		timeout = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+		addr     = fs.String("addr", "http://127.0.0.1:8440", "coresetd base URL (-target service)")
+		target   = fs.String("target", "service", "what to load: service (coresetd HTTP) | cluster (coordinator+workers)")
+		clusterW = fs.String("cluster", "", "comma-separated coresetworker addresses (-target cluster)")
+		genName  = fs.String("gen", "gnp", "graph generator: gnp | star | powerlaw")
+		n        = fs.Int("n", 20000, "vertices")
+		deg      = fs.Float64("deg", 8, "average degree (gnp)")
+		gseed    = fs.Uint64("graphseed", 1, "generator seed")
+		task     = fs.String("task", "matching", "job task: matching | vc")
+		k        = fs.Int("k", 4, "machines per job (-target service; cluster uses the fleet size)")
+		mode     = fs.String("mode", "stream", "job mode: stream | batch (-target service)")
+		jobs     = fs.Int("jobs", 32, "total jobs to run")
+		conc     = fs.Int("c", 4, "concurrent clients")
+		seeds    = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the service cache)")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,6 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jobs <= 0 || *conc <= 0 || *seeds <= 0 {
 		fmt.Fprintln(stderr, "coresetload: -jobs, -c and -seeds must be > 0")
+		return 2
+	}
+	if *target == "cluster" {
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *jobs, *conc, *seeds, *timeout, stdout, stderr)
+	}
+	if *target != "service" {
+		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
 		return 2
 	}
 
@@ -132,6 +154,116 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "server: %d done / %d failed / %d canceled; cache %d hits / %d misses\n",
 		st.Jobs.Done, st.Jobs.Failed, st.Jobs.Canceled, st.Cache.Hits, st.Cache.Misses)
 	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runClusterTarget drives a coordinator+workers deployment directly: every
+// job is one full cluster run against the fleet, then the identical workload
+// replays through the in-process streaming runtime so the two latency
+// distributions print side by side. Concurrent clients exercise the workers'
+// many-runs-at-once path.
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, jobs, conc, seeds int, timeout time.Duration, stdout, stderr io.Writer) int {
+	if clusterW == "" {
+		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
+		return 2
+	}
+	addrs, err := cluster.ParseWorkerList(clusterW)
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload:", err)
+		return 2
+	}
+	if task != service.TaskMatching && task != service.TaskVC {
+		fmt.Fprintf(stderr, "coresetload: unknown task %q\n", task)
+		return 2
+	}
+	spec := &service.GenSpec{Name: genName, N: n, Deg: deg, Seed: gseed}
+	if _, err := spec.Source(); err != nil {
+		fmt.Fprintln(stderr, "coresetload:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "cluster: %d workers, %s n=%d, task %s, %d jobs x %d clients\n",
+		len(addrs), genName, n, task, jobs, conc)
+
+	runOne := func(mode string, seed uint64) (time.Duration, error) {
+		src, err := spec.Source()
+		if err != nil {
+			return 0, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		t0 := time.Now()
+		switch {
+		case mode == "cluster" && task == "vc":
+			_, _, err = cluster.VertexCover(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
+		case mode == "cluster":
+			_, _, err = cluster.Matching(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
+		case task == "vc":
+			_, _, err = stream.VertexCoverContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
+		default:
+			_, _, err = stream.MatchingContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
+		}
+		return time.Since(t0), err
+	}
+
+	fire := func(mode string) ([]time.Duration, int, time.Duration) {
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			failures  int
+		)
+		start := time.Now()
+		next := make(chan int)
+		go func() {
+			for i := 0; i < jobs; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					d, err := runOne(mode, uint64(i%seeds))
+					mu.Lock()
+					if err != nil {
+						failures++
+						fmt.Fprintf(stderr, "coresetload: %s job %d: %v\n", mode, i, err)
+					} else {
+						latencies = append(latencies, d)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return latencies, failures, time.Since(start)
+	}
+
+	report := func(label string, latencies []time.Duration, failures int, wall time.Duration) bool {
+		if len(latencies) == 0 {
+			fmt.Fprintf(stderr, "coresetload: no %s job succeeded\n", label)
+			return false
+		}
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			return latencies[int(p*float64(len(latencies)-1))]
+		}
+		fmt.Fprintf(stdout, "%-10s %d jobs in %.2fs (%.1f jobs/sec), %d failed; latency p50 %s  p90 %s  p99 %s  max %s\n",
+			label+":", len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures,
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+		return failures == 0
+	}
+
+	cl, cf, cw := fire("cluster")
+	sl, sf, sw := fire("in-process")
+	okC := report("cluster", cl, cf, cw)
+	okS := report("in-process", sl, sf, sw)
+	if !okC || !okS {
 		return 1
 	}
 	return 0

@@ -1,0 +1,108 @@
+// Command coresetworker is the resident cluster worker: one of the paper's
+// k machines as a long-running OS process. It accepts run-assignment
+// connections from any coordinator (cmd/coreset -cluster, coresetd -cluster
+// or cmd/coresetload -target cluster), hosts the same incremental coreset
+// builders the in-process runtimes use, and answers each run with a single
+// CORESET frame over the measured wire protocol (internal/cluster).
+//
+// Usage:
+//
+//	coresetworker -addr 127.0.0.1:9601
+//
+// The worker serves any number of concurrent runs and keeps no state
+// between them. Once the listener is bound it prints
+//
+//	CORESETWORKER READY <host:port>
+//
+// on stdout, which is how self-spawn deployments (cmd/coreset -cluster
+// local, cluster.SpawnLocal) learn the address when -addr ends in :0. On
+// SIGINT/SIGTERM — or stdin EOF with -exit-on-stdin-eof, the lifetime
+// contract SpawnLocal uses so orphaned workers die with their parent — the
+// worker stops accepting, drains in-flight runs (bounded by -drain) and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coresetworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight runs")
+		stdinEOF  = fs.Bool("exit-on-stdin-eof", false, "shut down when stdin closes (set by self-spawn parents)")
+		quietLogs = fs.Bool("q", false, "suppress per-run abort logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(stderr, "coresetworker: ", log.LstdFlags)
+	if *quietLogs {
+		logger = log.New(io.Discard, "", 0)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		fmt.Fprintln(stderr, "coresetworker: listen:", err)
+		return 1
+	}
+	// The ready line is the machine-readable contract with SpawnLocal; print
+	// it only after the listener is bound so the address is dialable.
+	fmt.Fprintf(stdout, "%s%s\n", cluster.ReadyPrefix, ln.Addr())
+	logger.Printf("serving on %s", ln.Addr())
+
+	w := cluster.NewWorker(logger)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- w.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	stdinClosed := make(chan struct{})
+	if *stdinEOF {
+		go func() {
+			_, _ = io.Copy(io.Discard, stdin)
+			close(stdinClosed)
+		}()
+	}
+
+	select {
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+		logger.Printf("signal received")
+	case <-stdinClosed:
+		logger.Printf("stdin closed")
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := w.Shutdown(dctx); err != nil {
+		logger.Printf("drain incomplete: %v (served %d runs)", err, w.Served())
+		return 1
+	}
+	logger.Printf("drained cleanly (served %d runs)", w.Served())
+	return 0
+}

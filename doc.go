@@ -18,21 +18,49 @@
 // claim. See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 //
-// Two runtimes execute the model. The batch pipeline (internal/core)
-// materializes the edge list, partitions it with a single sequential RNG
-// (partition.RandomK) and maps over the parts — the simulator's view. The
-// streaming runtime (internal/stream) is the deployment's view: an
-// EdgeSource streams edges in batches (from a file, stdin or a generator,
-// never holding the full graph), a seeded position-independent hash sharder
-// (partition.HashAssign) routes them to k concurrent machine goroutines,
-// each machine maintains its coreset incrementally (one-pass greedy matching
-// telemetry plus an exact end-of-stream summary for Theorem 1; incremental
-// degree tracking with online level-1 peeling for Theorem 2, which discards
-// already-covered edges mid-stream), and a coordinator composes the final
-// answer. Given the same hash k-partitioning the two runtimes agree bit for
-// bit (internal/stream's parity tests); cmd/coreset selects between them
-// with -stream, examples/streaming_pipeline demonstrates the pipeline, and
-// experiment E19 compares their throughput and quality at fixed k.
+// Four runtimes execute the model over one core, trading realism for
+// convenience at each step:
+//
+//	           ┌─────────────────────────────────────────────────────┐
+//	batch      │ materialize edges → RandomK parts → map → compose   │ simulator's view
+//	stream     │ EdgeSource → hash sharder → k goroutines → compose  │ deployment shape
+//	cluster    │ EdgeSource → hash sharder → k OS PROCESSES over TCP │ real machines,
+//	           │   (typed frames, varint delta edge batches)         │ measured bytes
+//	service    │ resident daemon dispatching jobs to any of the above│ summaries reused
+//	           └──────────────── internal/core ──────────────────────┘
+//
+// The batch pipeline (internal/core) materializes the edge list, partitions
+// it with a single sequential RNG (partition.RandomK) and maps over the
+// parts — the simulator's view. The streaming runtime (internal/stream) is
+// the deployment's shape: an EdgeSource streams edges in batches (from a
+// file, stdin or a generator, never holding the full graph), a seeded
+// position-independent hash sharder (partition.HashAssign) routes them to k
+// concurrent machine goroutines, each machine maintains its coreset
+// incrementally (one-pass greedy matching telemetry plus an exact
+// end-of-stream summary for Theorem 1; incremental degree tracking with
+// online level-1 peeling for Theorem 2, which discards already-covered
+// edges mid-stream), and a coordinator composes the final answer. Given the
+// same hash k-partitioning the runtimes agree bit for bit (internal/stream's
+// parity tests); cmd/coreset selects between them with -stream,
+// examples/streaming_pipeline demonstrates the pipeline, and experiment E19
+// compares their throughput and quality at fixed k.
+//
+// The cluster runtime (internal/cluster) makes the machines real: k worker
+// OS processes (cmd/coresetworker, or self-spawned by cmd/coreset -cluster
+// local) host the very same incremental builders behind a compact
+// length-prefixed wire protocol — HELLO/ACK/SHARD/EOS/CORESET/ERROR frames
+// over TCP, edge batches in the varint delta codec (graph.AppendEdgeBatch)
+// that the simulated accounting also charges. The coordinator shards with
+// the same seeded hash, so a cluster run is bit-for-bit identical to the
+// in-process pipelines for the same (graph, seed, k) — the seed-parity
+// tests in internal/cluster assert deep-equal coresets — while
+// TotalCommBytes/MaxMachineBytes in the run report are measured off the
+// sockets, with the simulated estimate alongside (EstCommBytes). Worker
+// crashes surface as typed *cluster.WorkerError values at the coordinator;
+// cancellation force-closes connections so nothing hangs; workers drain
+// gracefully on shutdown. Experiment E20 tabulates simulated vs measured
+// communication as n and k scale, and BenchmarkClusterVsStream (baseline in
+// BENCH_cluster.json) prices the wire against the in-process runtime.
 //
 // Above both runtimes sits the service layer (internal/service, served by
 // cmd/coresetd): a long-running daemon that keeps graphs and their composed
@@ -52,13 +80,16 @@
 //	                   └──────────────────────────────────────────────────────────┘
 //
 // A job names a registered graph, a task (matching or vc), k, a seed and a
-// mode (batch or stream). Because both runtimes are deterministic functions
-// of the seed, the composed run report is cacheable: a repeated query is
-// answered from memory without re-running any pipeline (the cache-hit
-// counters in /v1/stats make this observable, and BENCH_service.json
-// records the cold-vs-hit latency gap). Streaming jobs honor cancellation
-// at batch granularity via stream.MatchingContext/VertexCoverContext; on
-// shutdown the daemon drains in-flight jobs before exiting. The CLI and the
-// service share graph.RunReport as their result schema (cmd/coreset -json),
-// and cmd/coresetload is the matching load generator.
+// mode (batch, stream, or — when the daemon was started with -cluster —
+// cluster, which dispatches the run to the configured coresetworker fleet).
+// Because every runtime is a deterministic function of the seed, the
+// composed run report is cacheable: a repeated query is answered from
+// memory without re-running any pipeline (the cache-hit counters in
+// /v1/stats make this observable, and BENCH_service.json records the
+// cold-vs-hit latency gap). Streaming and cluster jobs honor cancellation
+// at batch granularity; on shutdown the daemon drains in-flight jobs before
+// exiting. The CLI and the service share graph.RunReport as their result
+// schema (cmd/coreset -json), and cmd/coresetload is the matching load
+// generator (-target service drives the HTTP API, -target cluster drives a
+// worker fleet directly).
 package repro

@@ -1,0 +1,167 @@
+// Package cluster is the distributed deployment of the paper's simultaneous
+// model: the k machines are separate OS processes, and the coreset messages
+// cross a real TCP connection, so the communication the paper bounds is
+// *measured* on the wire instead of estimated from encoded sizes.
+//
+//	EdgeSource --> sharder --> k TCP connections --> k worker processes
+//	                                  ^                      |
+//	              coordinator --------+---- CORESET frames --+--> composition
+//
+// The coordinator (this package's Matching/VertexCover) consumes any
+// stream.EdgeSource, routes every edge with the same seeded
+// partition.HashAssign the in-process runtime uses — so a cluster run is
+// bit-for-bit identical to the streaming and batch pipelines for the same
+// (graph, seed, k) — and fans edge batches out over a compact length-prefixed
+// binary protocol (wire.go: typed HELLO/ACK/SHARD/EOS/CORESET/ERROR frames,
+// varint delta-encoded edge batches shared with graph.AppendEdgeBatch).
+// Each worker hosts a stream.Machine — the very builders the in-process
+// pipeline runs — and answers with one CORESET frame. The coordinator
+// composes the summaries with the same core composition and reports both the
+// measured wire bytes (TotalCommBytes/MaxMachineBytes) and the simulated
+// estimate (EstCommBytes) side by side.
+//
+// Backpressure is per worker: every connection has a bounded batch channel
+// and a blocking TCP write path, so a slow worker throttles only its own
+// shard stream. Cancellation is cooperative at batch granularity on the
+// coordinator and forces connections closed, which workers observe as a
+// dropped run; a worker crash mid-shard surfaces as a typed *WorkerError at
+// the coordinator with no hang and no goroutine leak.
+//
+// Deployment shapes: cmd/coresetworker is the resident worker binary (serves
+// many runs concurrently, drains gracefully); cmd/coreset -cluster
+// host:port,... drives an existing deployment; -cluster local self-spawns k
+// worker processes (SpawnLocal) for single-machine use; and coresetd
+// dispatches jobs with mode "cluster" to a configured worker fleet.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// DefaultBatchSize matches the in-process streaming runtime's batch size.
+const DefaultBatchSize = 1024
+
+// DefaultDialTimeout bounds each worker connection attempt.
+const DefaultDialTimeout = 5 * time.Second
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Workers lists the worker addresses, one machine per entry; k is
+	// len(Workers). Required, non-empty.
+	Workers []string
+	// Seed seeds the hash sharder: partition.HashAssign(e, k, Seed) decides
+	// every route, exactly as in the in-process runtimes.
+	Seed uint64
+	// BatchSize is the number of edges per SHARD frame (default
+	// DefaultBatchSize).
+	BatchSize int
+	// DialTimeout bounds each worker connection attempt (default
+	// DefaultDialTimeout).
+	DialTimeout time.Duration
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return DefaultDialTimeout
+}
+
+// WorkerError is the typed error for a machine that failed mid-run: dial
+// failure, connection drop (worker crash), protocol violation, or an ERROR
+// frame the worker sent before closing. Err carries the cause.
+type WorkerError struct {
+	Machine int    // machine index within the run
+	Addr    string // worker address
+	Err     error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("cluster: worker %d (%s): %v", e.Machine, e.Addr, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// Stats reports what a cluster run did and cost. It mirrors stream.Stats
+// where the fields coincide; the communication fields split into measured
+// wire bytes and the simulated estimate the in-process runtimes report.
+type Stats struct {
+	K          int
+	N          int   // final vertex count
+	EdgesTotal int   // edges read from the source
+	Batches    int   // batches read from the source
+	PartEdges  []int // edges routed to each machine (worker-reported)
+	// StoredEdges is how many edges each worker still held at end of stream
+	// (vc online peeling makes it < PartEdges on peel-heavy inputs).
+	StoredEdges []int
+	// Live is each worker's online telemetry at end of stream: greedy
+	// matching size (matching) or vertices peeled online (vc).
+	Live         []int
+	CoresetEdges []int
+	CoresetFixed []int // vc only
+
+	// TotalCommBytes and MaxMachineBytes are MEASURED: the exact bytes of
+	// each worker's CORESET frame (header included) as read off its TCP
+	// connection.
+	TotalCommBytes  int
+	MaxMachineBytes int
+	// EstCommBytes / EstMaxMachineBytes are the simulated estimate for the
+	// same messages — core.CoresetSizeBytes / core.VCCoresetSizeBytes, the
+	// numbers the in-process runtimes report — kept alongside so measured
+	// and simulated accounting can be compared on every run.
+	EstCommBytes       int
+	EstMaxMachineBytes int
+	// ShardBytes is the measured coordinator-to-worker traffic: HELLO, SHARD
+	// and EOS frames summed over all workers.
+	ShardBytes int
+
+	CompositionEdges int
+	Duration         time.Duration
+}
+
+// EdgesPerSec returns the end-to-end throughput of the run.
+func (s *Stats) EdgesPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.EdgesTotal) / s.Duration.Seconds()
+}
+
+// Report assembles the shared JSON-able run report for a cluster run. Mode
+// is "cluster"; TotalCommBytes/MaxMachineBytes carry the measured wire
+// bytes and EstCommBytes/EstMaxMachineBytes the simulated estimate.
+func (s *Stats) Report(task string, seed uint64, solutionSize int) *graph.RunReport {
+	return &graph.RunReport{
+		Task:               task,
+		Mode:               "cluster",
+		N:                  s.N,
+		M:                  s.EdgesTotal,
+		K:                  s.K,
+		Seed:               seed,
+		SolutionSize:       solutionSize,
+		PartEdges:          s.PartEdges,
+		StoredEdges:        s.StoredEdges,
+		Live:               s.Live,
+		CoresetEdges:       s.CoresetEdges,
+		CoresetFixed:       s.CoresetFixed,
+		TotalCommBytes:     s.TotalCommBytes,
+		MaxMachineBytes:    s.MaxMachineBytes,
+		EstCommBytes:       s.EstCommBytes,
+		EstMaxMachineBytes: s.EstMaxMachineBytes,
+		ShardBytes:         s.ShardBytes,
+		CompositionEdges:   s.CompositionEdges,
+		Batches:            s.Batches,
+		DurationMS:         float64(s.Duration.Microseconds()) / 1000,
+		EdgesPerSec:        s.EdgesPerSec(),
+	}
+}

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/vcover"
+)
+
+// startWorkers brings up k in-process workers on loopback TCP and returns
+// their addresses; they are torn down when the test ends.
+func startWorkers(t *testing.T, k int) []string {
+	t.Helper()
+	addrs, shutdown, err := ServeLoopback(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	return addrs
+}
+
+func parityGraph(seed uint64, n int, deg float64) *graph.Graph {
+	return gen.GNP(n, deg/float64(n), rng.New(seed))
+}
+
+func batchHashParts(g *graph.Graph, k int, seed uint64) [][]graph.Edge {
+	return partition.ByAssignment(g.Edges, k, partition.HashAssignAll(g.Edges, k, seed))
+}
+
+// TestSeedParityAcrossRuntimes is the acceptance gate for the cluster
+// runtime: for a fixed (graph, seed, k), the batch pipeline on the hash
+// k-partitioning, the in-process stream pipeline, and the cluster runtime
+// must produce deep-equal per-machine coresets and identical composed
+// solutions — for both tasks, across several seeds. (go test -race keeps it
+// race-clean.)
+func TestSeedParityAcrossRuntimes(t *testing.T) {
+	const k = 4
+	addrs := startWorkers(t, k)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		task string
+		n    int
+		deg  float64
+	}{
+		{"matching", 800, 8},
+		{"vc", 700, 40}, // high degree so VC peeling fires several levels
+	} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			g := parityGraph(seed, tc.n, tc.deg)
+			cfg := Config{Workers: addrs, Seed: seed}
+			parts := batchHashParts(g, k, seed)
+			src := stream.NewGraphSource(g)
+
+			switch tc.task {
+			case "matching":
+				sums, _, err := run(ctx, src, cfg, taskMatching)
+				if err != nil {
+					t.Fatalf("matching seed %d: %v", seed, err)
+				}
+				// Per-machine coresets survive the wire deep-equal to the
+				// batch oracle on the same partition.
+				for i, p := range parts {
+					want := core.MatchingCoreset(g.N, p)
+					if !reflect.DeepEqual(sums[i].Coreset, want) {
+						t.Fatalf("seed %d machine %d: cluster coreset differs from batch", seed, i)
+					}
+					if sums[i].Edges != len(p) {
+						t.Fatalf("seed %d machine %d: worker received %d edges, oracle part has %d", seed, i, sums[i].Edges, len(p))
+					}
+				}
+				// Composed solutions agree across all three runtimes.
+				cm, cst, err := Matching(ctx, stream.NewGraphSource(g), cfg)
+				if err != nil {
+					t.Fatalf("matching seed %d: %v", seed, err)
+				}
+				if err := matching.Verify(g.N, g.Edges, cm); err != nil {
+					t.Fatalf("seed %d: cluster matching invalid: %v", seed, err)
+				}
+				sm, sst, err := stream.Matching(stream.NewGraphSource(g), stream.Config{K: k, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !reflect.DeepEqual(cm.Edges(), sm.Edges()) {
+					t.Fatalf("seed %d: cluster matching differs from stream", seed)
+				}
+				checkMeasuredBytes(t, cst, sst.TotalCommBytes)
+
+			case "vc":
+				sums, _, err := run(ctx, src, cfg, taskVC)
+				if err != nil {
+					t.Fatalf("vc seed %d: %v", seed, err)
+				}
+				for i, p := range parts {
+					want := core.ComputeVCCoreset(g.N, k, p)
+					if !reflect.DeepEqual(sums[i].VC, want) {
+						t.Fatalf("seed %d machine %d: cluster VC coreset differs from batch:\ngot  %+v\nwant %+v", seed, i, sums[i].VC, want)
+					}
+				}
+				cc, cst, err := VertexCover(ctx, stream.NewGraphSource(g), cfg)
+				if err != nil {
+					t.Fatalf("vc seed %d: %v", seed, err)
+				}
+				if err := vcover.Verify(g.N, g.Edges, cc); err != nil {
+					t.Fatalf("seed %d: cluster cover infeasible: %v", seed, err)
+				}
+				sc, sst, err := stream.VertexCover(stream.NewGraphSource(g), stream.Config{K: k, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !reflect.DeepEqual(cc, sc) {
+					t.Fatalf("seed %d: cluster cover differs from stream (%d vs %d vertices)", seed, len(cc), len(sc))
+				}
+				checkMeasuredBytes(t, cst, sst.TotalCommBytes)
+			}
+		}
+	}
+}
+
+// checkMeasuredBytes asserts the acceptance criterion on wire accounting:
+// measured bytes are real (nonzero), the simulated estimate matches the
+// in-process runtime's accounting exactly, and measured stays within 2x of
+// the estimate (the slack is frame headers and per-machine stats varints).
+func checkMeasuredBytes(t *testing.T, st *Stats, streamEstimate int) {
+	t.Helper()
+	if st.TotalCommBytes <= 0 {
+		t.Fatal("measured TotalCommBytes is zero")
+	}
+	if st.EstCommBytes != streamEstimate {
+		t.Fatalf("cluster estimate %d differs from stream accounting %d", st.EstCommBytes, streamEstimate)
+	}
+	if st.TotalCommBytes < st.EstCommBytes || st.TotalCommBytes > 2*st.EstCommBytes {
+		t.Fatalf("measured %d bytes not within [est, 2*est] of estimate %d", st.TotalCommBytes, st.EstCommBytes)
+	}
+	if st.MaxMachineBytes < st.EstMaxMachineBytes {
+		t.Fatalf("measured max %d below estimated max %d", st.MaxMachineBytes, st.EstMaxMachineBytes)
+	}
+	if st.ShardBytes <= 0 {
+		t.Fatal("no coordinator-to-worker bytes measured")
+	}
+}
+
+// unknownNSource hides the vertex count until end of stream, like a
+// headerless edge-list file.
+type unknownNSource struct{ inner stream.EdgeSource }
+
+func (s *unknownNSource) Next(buf []graph.Edge) (int, error) { return s.inner.Next(buf) }
+func (s *unknownNSource) NumVertices() int                   { return s.inner.NumVertices() }
+func (s *unknownNSource) KnownUpfront() bool                 { return false }
+
+// TestClusterUnknownN: when n is not declared upfront the workers must fall
+// back to the batch peel at EOS (same as the in-process builders) and still
+// match the stream pipeline exactly.
+func TestClusterUnknownN(t *testing.T) {
+	const k = 3
+	g := parityGraph(9, 400, 30)
+	addrs := startWorkers(t, k)
+	cc, _, err := VertexCover(context.Background(), &unknownNSource{stream.NewGraphSource(g)}, Config{Workers: addrs, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _, err := stream.VertexCover(&unknownNSource{stream.NewGraphSource(g)}, stream.Config{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cc, sc) {
+		t.Fatal("cluster cover differs from stream with undeclared n")
+	}
+}
+
+// TestClusterEmptyStream: zero edges must compose empty answers through the
+// full wire protocol, not hang or error.
+func TestClusterEmptyStream(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	cfg := Config{Workers: addrs, Seed: 1}
+	m, st, err := Matching(context.Background(), stream.NewSliceSource(0, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 0 || st.EdgesTotal != 0 {
+		t.Fatalf("empty stream produced size %d, %d edges", m.Size(), st.EdgesTotal)
+	}
+	if st.TotalCommBytes <= 0 {
+		t.Fatal("even empty coresets cross the wire; measured bytes must be nonzero")
+	}
+	cover, _, err := VertexCover(context.Background(), stream.NewSliceSource(0, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 0 {
+		t.Fatalf("empty stream produced cover of %d", len(cover))
+	}
+}
+
+// TestClusterBatchSizes: routing is independent of SHARD frame sizing.
+func TestClusterBatchSizes(t *testing.T) {
+	g := parityGraph(5, 500, 8)
+	addrs := startWorkers(t, 3)
+	var want []graph.Edge
+	for i, bs := range []int{0, 1, 7, 4096} {
+		m, _, err := Matching(context.Background(), stream.NewGraphSource(g), Config{Workers: addrs, Seed: 5, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		if i == 0 {
+			want = m.Edges()
+			continue
+		}
+		if !reflect.DeepEqual(m.Edges(), want) {
+			t.Fatalf("batch %d: matching differs from default batch size", bs)
+		}
+	}
+}
+
+// TestWorkerServesManyRuns: one resident worker set serves many sequential
+// and concurrent runs without state bleeding between them.
+func TestWorkerServesManyRuns(t *testing.T) {
+	const k = 2
+	addrs := startWorkers(t, k)
+	g := parityGraph(7, 400, 8)
+	want, _, err := stream.Matching(stream.NewGraphSource(g), stream.Config{K: k, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		go func() {
+			m, _, err := Matching(context.Background(), stream.NewGraphSource(g), Config{Workers: addrs, Seed: 7})
+			if err == nil && m.Size() != want.Size() {
+				err = &WorkerError{Err: errNotEqual}
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errNotEqual = errSentinel("concurrent run diverged")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := Matching(context.Background(), nil, Config{Workers: []string{"x"}}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, _, err := Matching(context.Background(), stream.NewSliceSource(0, nil), Config{}); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+}

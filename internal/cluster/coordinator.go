@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/stream"
+)
+
+// Matching runs the Theorem 1 pipeline across the configured workers:
+// hash-shard the source's edges over the k worker connections, collect the
+// per-machine maximum-matching coresets, and compose a maximum matching of
+// their union — exactly the in-process stream.Matching, with the machines on
+// the other side of a wire.
+func Matching(ctx context.Context, src stream.EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, taskMatching)
+	if err != nil {
+		return nil, nil, err
+	}
+	coresets := make([][]graph.Edge, st.K)
+	for i, s := range sums {
+		coresets[i] = s.Coreset
+		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
+		st.CompositionEdges += len(s.Coreset)
+	}
+	m := core.ComposeMatching(st.N, coresets)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// VertexCover runs the Theorem 2 pipeline across the configured workers and
+// returns the composed cover.
+func VertexCover(ctx context.Context, src stream.EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, taskVC)
+	if err != nil {
+		return nil, nil, err
+	}
+	coresets := make([]*core.VCCoreset, st.K)
+	for i, s := range sums {
+		coresets[i] = s.VC
+		st.CoresetEdges = append(st.CoresetEdges, len(s.VC.Residual))
+		st.CoresetFixed = append(st.CoresetFixed, len(s.VC.Fixed))
+		st.CompositionEdges += len(s.VC.Residual)
+	}
+	cover := core.ComposeVC(st.N, coresets)
+	st.Duration = time.Since(start)
+	return cover, st, nil
+}
+
+// workerResult is one machine's outcome: its decoded summary plus the
+// measured wire traffic in both directions, or the error that ended it.
+type workerResult struct {
+	machine int
+	sum     stream.Summary
+	wire    int // measured CORESET frame bytes (worker -> coordinator)
+	sent    int // measured HELLO+SHARD+EOS bytes (coordinator -> worker)
+	err     error
+}
+
+// run drives one cluster run: the caller's goroutine reads the source and
+// shards by partition.HashAssign, one goroutine per worker speaks the wire
+// protocol (dial, HELLO/ACK, SHARD stream with TCP backpressure, EOS after
+// the final vertex count is known, CORESET back). The close(nReady) edge
+// publishes nFinal to the connection goroutines exactly as in stream.run.
+//
+// Failure is prompt in every direction: a worker error cancels the internal
+// context (stopping the sharder at the next batch boundary) and is returned
+// as a typed *WorkerError; caller cancellation force-closes the connections,
+// so no goroutine can stay blocked on the network. Every exit path closes
+// the batch channels and waits for the connection goroutines, so run never
+// leaks.
+func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte) ([]stream.Summary, *Stats, error) {
+	if src == nil {
+		return nil, nil, errors.New("cluster: nil source")
+	}
+	k := len(cfg.Workers)
+	if k == 0 {
+		return nil, nil, errors.New("cluster: config needs at least one worker address")
+	}
+	start := time.Now()
+
+	nHint, known := 0, src.KnownUpfront()
+	if known {
+		nHint = src.NumVertices()
+	}
+
+	// runCtx is the run's internal lifetime: canceled by the caller's ctx or
+	// by the first failing worker, whichever comes first.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	var (
+		nFinal  int
+		nReady  = make(chan struct{})
+		results = make(chan workerResult, k)
+		wg      sync.WaitGroup
+	)
+	// rootErr is the causally-first worker failure. Once one worker fails,
+	// cancelRun force-closes every other connection, so the secondary I/O
+	// errors that follow must not mask the machine that actually broke.
+	// noteFailure always runs before that cancelRun, which makes "first to
+	// record" exactly "first to fail".
+	var (
+		failMu  sync.Mutex
+		rootErr error
+	)
+	noteFailure := func(err error) {
+		failMu.Lock()
+		if rootErr == nil {
+			rootErr = err
+		}
+		failMu.Unlock()
+	}
+	chans := make([]chan []graph.Edge, k)
+	dialer := &net.Dialer{Timeout: cfg.dialTimeout()}
+	for i := 0; i < k; i++ {
+		chans[i] = make(chan []graph.Edge, 4)
+		wg.Add(1)
+		go func(machine int) {
+			defer wg.Done()
+			res := workerResult{machine: machine}
+			defer func() {
+				if res.err != nil {
+					// Stop the sharder, then discard whatever it already
+					// queued for this machine so it can never block on a dead
+					// connection. The sharder owns close(chans[machine]), so
+					// this drain always terminates.
+					cancelRun()
+					for range chans[machine] {
+					}
+				}
+				results <- res
+			}()
+			addr := cfg.Workers[machine]
+			fail := func(err error) {
+				we := &WorkerError{Machine: machine, Addr: addr, Err: err}
+				res.err = we
+				noteFailure(we)
+			}
+
+			conn, err := dialer.DialContext(runCtx, "tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			// Force-close the connection on cancellation so blocked reads and
+			// writes fail promptly instead of hanging on a stuck peer.
+			stopWatch := closeOnCancel(runCtx, conn)
+			defer stopWatch()
+
+			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint}
+			n, err := writeFrame(conn, frameHello, encodeHello(h))
+			res.sent += n
+			if err != nil {
+				fail(fmt.Errorf("handshake: %w", err))
+				return
+			}
+			typ, payload, _, err := readFrame(conn)
+			if err != nil {
+				fail(fmt.Errorf("handshake: %w", err))
+				return
+			}
+			switch typ {
+			case frameAck:
+			case frameError:
+				fail(fmt.Errorf("remote: %s", payload))
+				return
+			default:
+				fail(fmt.Errorf("handshake: unexpected frame 0x%02x", typ))
+				return
+			}
+
+			var buf []byte
+			for batch := range chans[machine] {
+				buf = graph.AppendEdgeBatch(buf[:0], batch)
+				n, err := writeFrame(conn, frameShard, buf)
+				res.sent += n
+				if err != nil {
+					fail(fmt.Errorf("shard stream: %w", err))
+					return // the deferred drain consumes the rest
+				}
+			}
+			select {
+			case <-nReady:
+			case <-runCtx.Done():
+				res.err = runCtx.Err()
+				return
+			}
+			n, err = writeFrame(conn, frameEOS, binary.AppendUvarint(nil, uint64(nFinal)))
+			res.sent += n
+			if err != nil {
+				fail(fmt.Errorf("EOS: %w", err))
+				return
+			}
+
+			typ, payload, frameLen, err := readFrame(conn)
+			if err != nil {
+				fail(fmt.Errorf("awaiting CORESET: %w", err))
+				return
+			}
+			switch typ {
+			case frameCoreset:
+				sum, err := decodeSummary(task, payload)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res.sum, res.wire = sum, frameLen
+			case frameError:
+				fail(fmt.Errorf("remote: %s", payload))
+			default:
+				fail(fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
+			}
+		}(i)
+	}
+
+	closeAll := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+
+	// Shard stage: identical routing to stream.run — read source batches,
+	// assign each edge with the seeded hash, flush per-machine mini-batches
+	// as they fill. Sends block on the machine's channel (and transitively on
+	// its TCP connection: per-worker backpressure) but never past
+	// cancellation.
+	bs := cfg.batchSize()
+	buf := make([]graph.Edge, bs)
+	pending := make([][]graph.Edge, k)
+	total, batches := 0, 0
+	var srcErr error // a real source error, never a cancellation
+	aborted := false
+	send := func(i int) bool {
+		select {
+		case chans[i] <- pending[i]:
+			pending[i] = nil
+			return true
+		case <-runCtx.Done():
+			return false
+		}
+	}
+shard:
+	for {
+		if runCtx.Err() != nil {
+			aborted = true
+			break
+		}
+		c, err := src.Next(buf)
+		if c > 0 {
+			total += c
+			batches++
+			for _, e := range buf[:c] {
+				i := partition.HashAssign(e, k, cfg.Seed)
+				if pending[i] == nil {
+					pending[i] = make([]graph.Edge, 0, bs)
+				}
+				pending[i] = append(pending[i], e)
+				if len(pending[i]) == bs && !send(i) {
+					aborted = true
+					break shard
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				srcErr = err
+			}
+			break
+		}
+	}
+	if srcErr == nil && !aborted {
+		for i, p := range pending {
+			if len(p) > 0 && !send(i) {
+				aborted = true
+				break
+			}
+		}
+	}
+	if srcErr != nil || aborted {
+		cancelRun() // release goroutines parked on nReady or blocked I/O
+		closeAll()
+	} else {
+		closeAll()
+		nFinal = src.NumVertices()
+		close(nReady)
+	}
+	wg.Wait()
+	close(results)
+
+	byMachine := make([]workerResult, k)
+	for r := range results {
+		byMachine[r.machine] = r
+	}
+	// Error precedence: the caller's cancellation, then a source error, then
+	// the causally-first worker failure (never one of the secondary errors
+	// its cancellation induced on the other connections).
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if srcErr != nil {
+		return nil, nil, srcErr
+	}
+	if rootErr != nil {
+		return nil, nil, rootErr
+	}
+	for _, r := range byMachine {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+	}
+	if aborted { // canceled with no surviving cause: report it as such
+		return nil, nil, context.Canceled
+	}
+
+	sums := make([]stream.Summary, k)
+	st := &Stats{
+		K:           k,
+		N:           nFinal,
+		EdgesTotal:  total,
+		Batches:     batches,
+		PartEdges:   make([]int, k),
+		StoredEdges: make([]int, k),
+		Live:        make([]int, k),
+	}
+	for _, r := range byMachine {
+		sums[r.machine] = r.sum
+		st.PartEdges[r.machine] = r.sum.Edges
+		st.StoredEdges[r.machine] = r.sum.Stored
+		st.Live[r.machine] = r.sum.Live
+		st.TotalCommBytes += r.wire
+		if r.wire > st.MaxMachineBytes {
+			st.MaxMachineBytes = r.wire
+		}
+		st.EstCommBytes += r.sum.Bytes
+		if r.sum.Bytes > st.EstMaxMachineBytes {
+			st.EstMaxMachineBytes = r.sum.Bytes
+		}
+		st.ShardBytes += r.sent
+	}
+	st.Duration = time.Since(start)
+	return sums, st, nil
+}
+
+// closeOnCancel force-closes conn when ctx is canceled; the returned stop
+// function ends the watch (idempotently) once the connection is done.
+func closeOnCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// Wire protocol. Every message is one frame:
+//
+//	[1 byte type][4 bytes big-endian payload length][payload]
+//
+// A run-assignment is one TCP connection speaking a fixed sequence:
+//
+//	coordinator -> worker   HELLO      task, machine index, k, optional n
+//	worker -> coordinator   ACK        protocol version echo
+//	coordinator -> worker   SHARD*     varint delta edge batch (graph codec)
+//	coordinator -> worker   EOS        final vertex count
+//	worker -> coordinator   CORESET    per-machine stats + coreset message
+//
+// Either side may substitute ERROR (UTF-8 message) for its next frame and
+// close. Edge batches and coreset bodies use graph.AppendEdgeBatch — the
+// same codec the simulated accounting charges — so a measured CORESET
+// payload and core.CoresetSizeBytes are the same function of the edge list,
+// and the measured number exceeds the estimate only by the frame header and
+// the per-machine stats varints.
+
+const protocolVersion = 1
+
+// Frame types.
+const (
+	frameHello byte = iota + 1
+	frameAck
+	frameShard
+	frameEOS
+	frameCoreset
+	frameError
+)
+
+// Task bytes carried in HELLO.
+const (
+	taskMatching byte = 1
+	taskVC       byte = 2
+)
+
+// maxFramePayload bounds a single frame so a corrupt or hostile peer cannot
+// make the receiver allocate without bound. 64 MiB is far above any batch or
+// coreset message in this repository (coresets are O~(n) edges).
+const maxFramePayload = 1 << 26
+
+// maxVertices bounds the vertex counts a worker accepts in HELLO and EOS
+// frames. Per-machine VC state is O(n), so an unvalidated count would be the
+// one allocation the frame-size limit cannot catch. Matches the service
+// layer's MaxGraphN.
+const maxVertices = 1 << 28
+
+// maxK bounds the machine count in HELLO; far above any deployment here.
+const maxK = 1 << 20
+
+const frameHeaderLen = 5
+
+// writeFrame writes one frame and returns the exact bytes put on the wire.
+func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	if len(payload) > maxFramePayload {
+		return 0, fmt.Errorf("cluster: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return frameHeaderLen, err
+	}
+	return frameHeaderLen + len(payload), nil
+}
+
+// readFrame reads one frame and returns its type, payload and total wire
+// size (header included).
+func readFrame(r io.Reader) (typ byte, payload []byte, n int, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	size := binary.BigEndian.Uint32(hdr[1:])
+	if size > maxFramePayload {
+		return 0, nil, 0, fmt.Errorf("cluster: frame payload %d exceeds limit", size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("cluster: truncated frame: %w", err)
+	}
+	return hdr[0], payload, frameHeaderLen + int(size), nil
+}
+
+// hello is the HELLO payload: which machine of which kind of run this
+// connection carries.
+type hello struct {
+	version byte
+	task    byte
+	machine int
+	k       int
+	known   bool // vertex count declared upfront (enables online peeling)
+	n       int
+}
+
+func encodeHello(h hello) []byte {
+	buf := []byte{h.version, h.task, 0}
+	if h.known {
+		buf[2] = 1
+	}
+	buf = binary.AppendUvarint(buf, uint64(h.machine))
+	buf = binary.AppendUvarint(buf, uint64(h.k))
+	buf = binary.AppendUvarint(buf, uint64(h.n))
+	return buf
+}
+
+func decodeHello(data []byte) (hello, error) {
+	var h hello
+	if len(data) < 3 {
+		return h, fmt.Errorf("cluster: short HELLO")
+	}
+	h.version, h.task, h.known = data[0], data[1], data[2] == 1
+	data = data[3:]
+	vals := make([]uint64, 3)
+	for i := range vals {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return h, fmt.Errorf("cluster: corrupt HELLO")
+		}
+		vals[i], data = v, data[k:]
+	}
+	h.machine, h.k, h.n = int(vals[0]), int(vals[1]), int(vals[2])
+	if h.version != protocolVersion {
+		return h, fmt.Errorf("cluster: protocol version %d, want %d", h.version, protocolVersion)
+	}
+	if h.task != taskMatching && h.task != taskVC {
+		return h, fmt.Errorf("cluster: unknown task 0x%02x", h.task)
+	}
+	if h.k <= 0 || h.k > maxK || h.machine < 0 || h.machine >= h.k {
+		return h, fmt.Errorf("cluster: machine %d of k=%d out of range", h.machine, h.k)
+	}
+	if h.n < 0 || h.n > maxVertices {
+		return h, fmt.Errorf("cluster: vertex count %d exceeds the cap of %d", h.n, maxVertices)
+	}
+	return h, nil
+}
+
+// appendSummary encodes a machine's end-of-stream summary as the CORESET
+// payload: uvarint received/stored/live stats, then the task-specific
+// coreset body.
+func appendSummary(dst []byte, task byte, s stream.Summary) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Edges))
+	dst = binary.AppendUvarint(dst, uint64(s.Stored))
+	dst = binary.AppendUvarint(dst, uint64(s.Live))
+	if task == taskMatching {
+		return graph.AppendEdgeBatch(dst, s.Coreset)
+	}
+	// VC: the levels (in peel order; Fixed is their concatenation, so it is
+	// not sent), then the residual subgraph.
+	dst = binary.AppendUvarint(dst, uint64(len(s.VC.Levels)))
+	for _, level := range s.VC.Levels {
+		dst = graph.AppendIDs(dst, level)
+	}
+	return graph.AppendEdgeBatch(dst, s.VC.Residual)
+}
+
+// decodeSummary reconstructs a stream.Summary from a CORESET payload. The
+// result is field-for-field identical to what the worker's Machine.Finish
+// returned — including nil-versus-empty slice shapes, which the seed-parity
+// guarantee (cluster coresets deep-equal in-process ones) depends on: a
+// maximum matching / residual edge list is always non-nil (matching.Edges
+// and Residual.LiveEdges allocate), while a level that peeled nothing is nil
+// (Residual.RemoveAtLeast does not).
+func decodeSummary(task byte, data []byte) (stream.Summary, error) {
+	var s stream.Summary
+	vals := make([]uint64, 3)
+	for i := range vals {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return s, fmt.Errorf("cluster: corrupt CORESET stats")
+		}
+		vals[i], data = v, data[k:]
+	}
+	s.Edges, s.Stored, s.Live = int(vals[0]), int(vals[1]), int(vals[2])
+
+	if task == taskMatching {
+		edges, rest, err := graph.DecodeEdgeBatch(data)
+		if err != nil {
+			return s, err
+		}
+		if len(rest) != 0 {
+			return s, fmt.Errorf("cluster: %d trailing bytes after CORESET", len(rest))
+		}
+		if edges == nil {
+			edges = []graph.Edge{}
+		}
+		s.Coreset = edges
+		s.Bytes = core.CoresetSizeBytes(edges) // simulated estimate, for Est* stats
+		return s, nil
+	}
+
+	nLevels, k := binary.Uvarint(data)
+	if k <= 0 || nLevels > uint64(len(data)) {
+		return s, fmt.Errorf("cluster: corrupt CORESET levels")
+	}
+	data = data[k:]
+	vc := &core.VCCoreset{}
+	for i := uint64(0); i < nLevels; i++ {
+		ids, rest, err := graph.DecodeIDs(data)
+		if err != nil {
+			return s, err
+		}
+		data = rest
+		if len(ids) == 0 {
+			ids = nil // RemoveAtLeast yields nil for an empty level
+		}
+		vc.Levels = append(vc.Levels, ids)
+		vc.Fixed = append(vc.Fixed, ids...)
+	}
+	residual, rest, err := graph.DecodeEdgeBatch(data)
+	if err != nil {
+		return s, err
+	}
+	if len(rest) != 0 {
+		return s, fmt.Errorf("cluster: %d trailing bytes after CORESET", len(rest))
+	}
+	if residual == nil {
+		residual = []graph.Edge{}
+	}
+	vc.Residual = residual
+	s.VC = vc
+	s.Bytes = core.VCCoresetSizeBytes(vc) // simulated estimate, for Est* stats
+	return s, nil
+}

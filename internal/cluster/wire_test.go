@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xAB}, 1<<16)}
+	written := 0
+	for i, p := range payloads {
+		n, err := writeFrame(&buf, byte(i+1), p)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if n != frameHeaderLen+len(p) {
+			t.Fatalf("frame %d: wrote %d bytes, want %d", i, n, frameHeaderLen+len(p))
+		}
+		written += n
+	}
+	if buf.Len() != written {
+		t.Fatalf("buffer holds %d bytes, accounting says %d", buf.Len(), written)
+	}
+	for i, p := range payloads {
+		typ, payload, n, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) || n != frameHeaderLen+len(p) || !bytes.Equal(payload, p) {
+			t.Fatalf("frame %d: got type %d len %d", i, typ, n)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if _, err := writeFrame(&bytes.Buffer{}, frameShard, make([]byte, maxFramePayload+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	// An oversized length prefix must be rejected before allocation.
+	hdr := []byte{frameShard, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	// Truncated header and truncated payload.
+	if _, _, _, err := readFrame(bytes.NewReader([]byte{frameShard, 0x00})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, _, err := readFrame(bytes.NewReader([]byte{frameShard, 0x00, 0x00, 0x00, 0x05, 0x01})); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []hello{
+		{version: protocolVersion, task: taskMatching, machine: 0, k: 1},
+		{version: protocolVersion, task: taskVC, machine: 7, k: 8, known: true, n: 1 << 20},
+	} {
+		got, err := decodeHello(encodeHello(h))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+	}
+}
+
+func TestHelloRejectsBadFields(t *testing.T) {
+	for name, h := range map[string]hello{
+		"version":     {version: 99, task: taskMatching, k: 1},
+		"task":        {version: protocolVersion, task: 9, k: 1},
+		"machine-oob": {version: protocolVersion, task: taskVC, machine: 3, k: 3},
+		"zero-k":      {version: protocolVersion, task: taskVC, machine: 0, k: 0},
+		"huge-k":      {version: protocolVersion, task: taskVC, machine: 0, k: maxK + 1},
+		// n drives an O(n) allocation in the VC machine; a worker that
+		// accepted an unbounded count could be crashed by one frame.
+		"huge-n": {version: protocolVersion, task: taskVC, k: 1, known: true, n: maxVertices + 1},
+	} {
+		if _, err := decodeHello(encodeHello(h)); err == nil {
+			t.Fatalf("%s: bad HELLO accepted", name)
+		}
+	}
+	if _, err := decodeHello([]byte{protocolVersion}); err == nil {
+		t.Fatal("short HELLO accepted")
+	}
+}
+
+// TestWorkerSurvivesHostileFrames: frames that could drive unbounded
+// allocations (huge HELLO n, huge EOS n) must be answered with ERROR and
+// must not take down the resident worker — it keeps serving honest runs.
+func TestWorkerSurvivesHostileFrames(t *testing.T) {
+	addrs, shutdown, err := ServeLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	attack := func(send func(conn net.Conn)) {
+		conn, err := net.Dial("tcp", addrs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		send(conn)
+		typ, _, _, err := readFrame(conn)
+		if err != nil || typ != frameError {
+			t.Fatalf("hostile frame answered with type 0x%02x err %v, want ERROR", typ, err)
+		}
+	}
+	// Huge vertex count in HELLO (would allocate O(n) VC state).
+	attack(func(conn net.Conn) {
+		h := hello{version: protocolVersion, task: taskVC, k: 1, known: true, n: maxVertices + 1}
+		_, _ = writeFrame(conn, frameHello, encodeHello(h))
+	})
+	// Valid handshake, then a huge EOS count (would allocate at Finish).
+	attack(func(conn net.Conn) {
+		h := hello{version: protocolVersion, task: taskMatching, k: 1}
+		_, _ = writeFrame(conn, frameHello, encodeHello(h))
+		if typ, _, _, err := readFrame(conn); err != nil || typ != frameAck {
+			t.Fatalf("handshake failed: type 0x%02x err %v", typ, err)
+		}
+		var eos [10]byte
+		_, _ = writeFrame(conn, frameEOS, eos[:binary.PutUvarint(eos[:], 1<<40)])
+	})
+
+	// The worker is still alive and serves an honest run.
+	g := gen.GNP(300, 0.05, rng.New(8))
+	m, _, err := Matching(context.Background(), stream.NewGraphSource(g), Config{Workers: addrs, Seed: 8})
+	if err != nil || m.Size() == 0 {
+		t.Fatalf("worker unusable after hostile frames: %v", err)
+	}
+}
+
+// TestSummaryCodecParity: what a real machine emits must survive the wire
+// byte-for-byte — encode then decode reproduces the Summary deep-equal,
+// including the nil-versus-empty slice shapes the seed-parity guarantee
+// needs (nil levels, non-nil empty coresets and residuals).
+func TestSummaryCodecParity(t *testing.T) {
+	g := gen.GNP(500, 40.0/500, rng.New(3))
+	feed := func(m *stream.Machine, edges []graph.Edge) stream.Summary {
+		for _, e := range edges {
+			m.Add(e)
+		}
+		return m.Finish(g.N)
+	}
+	cases := []struct {
+		name string
+		task byte
+		sum  stream.Summary
+	}{
+		{"matching", taskMatching, feed(stream.NewMatchingMachine(), g.Edges)},
+		{"matching-empty", taskMatching, feed(stream.NewMatchingMachine(), nil)},
+		{"vc-online-peel", taskVC, feed(stream.NewVCMachine(4, g.N), g.Edges)},
+		{"vc-no-hint", taskVC, feed(stream.NewVCMachine(4, 0), g.Edges)},
+		{"vc-empty", taskVC, feed(stream.NewVCMachine(4, g.N), nil)},
+	}
+	for _, tc := range cases {
+		got, err := decodeSummary(tc.task, appendSummary(nil, tc.task, tc.sum))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.sum) {
+			t.Fatalf("%s: decoded summary differs:\ngot  %+v\nwant %+v", tc.name, got, tc.sum)
+		}
+	}
+}
+
+func TestSummaryCodecCorrupt(t *testing.T) {
+	for _, data := range [][]byte{nil, {0x01}, {0x01, 0x01, 0x01}} {
+		if _, err := decodeSummary(taskMatching, data); err == nil {
+			t.Fatalf("corrupt matching summary %v accepted", data)
+		}
+		if _, err := decodeSummary(taskVC, data); err == nil {
+			t.Fatalf("corrupt vc summary %v accepted", data)
+		}
+	}
+	// Trailing garbage after a valid body must be rejected.
+	valid := appendSummary(nil, taskMatching, stream.NewMatchingMachine().Finish(0))
+	if _, err := decodeSummary(taskMatching, append(valid, 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestWorkerRejectsGarbageHello: a worker must answer a malformed handshake
+// with an ERROR frame, not a hang or a crash.
+func TestWorkerRejectsGarbageHello(t *testing.T) {
+	addrs, shutdown, err := ServeLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := writeFrame(conn, frameHello, []byte{0x63}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameError || !strings.Contains(string(payload), "HELLO") {
+		t.Fatalf("got frame 0x%02x %q, want ERROR about HELLO", typ, payload)
+	}
+}

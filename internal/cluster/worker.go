@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// Worker is a resident coreset worker: it accepts any number of concurrent
+// run-assignment connections, hosts one stream.Machine per connection — the
+// same incremental builders the in-process runtime uses — and answers each
+// with a single CORESET frame. A worker is stateless between runs: all
+// per-run state lives on the connection's goroutine and is discarded the
+// moment the connection ends, so a coordinator that vanishes mid-shard costs
+// the worker nothing but a logged line.
+type Worker struct {
+	logger *log.Logger
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	served atomic.Int64 // runs answered with a CORESET frame
+}
+
+// NewWorker returns a worker logging to logger (nil: discard).
+func NewWorker(logger *log.Logger) *Worker {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Worker{logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts run-assignment connections on ln until the listener is
+// closed (by Shutdown or externally). It returns nil after a Shutdown-driven
+// close and the accept error otherwise.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return errors.New("cluster: worker is shut down")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+				conn.Close()
+			}()
+			if err := w.handle(conn); err != nil {
+				w.logger.Printf("run from %s aborted: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Served returns how many runs this worker has answered.
+func (w *Worker) Served() int64 { return w.served.Load() }
+
+// Active returns the number of in-flight run-assignment connections.
+func (w *Worker) Active() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.conns)
+}
+
+// Shutdown drains the worker: the listener stops accepting, in-flight runs
+// finish, and all connection goroutines exit before Shutdown returns. If ctx
+// expires first the remaining connections are force-closed (their
+// coordinators observe a WorkerError) and Shutdown still waits for the
+// goroutines before returning the ctx error.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.mu.Lock()
+	w.closed = true
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	w.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		w.mu.Lock()
+		for conn := range w.conns {
+			conn.Close()
+		}
+		w.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle speaks one run-assignment: HELLO/ACK handshake, SHARD frames into
+// the machine, EOS, CORESET back. Protocol and decode failures are answered
+// with a best-effort ERROR frame before the connection drops. A panic while
+// serving one run (a malformed input the validations missed) is confined to
+// that connection: the worker is resident and must outlive any single
+// coordinator.
+func (w *Worker) handle(conn net.Conn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: panic serving run: %v", r)
+			_, _ = writeFrame(conn, frameError, []byte(err.Error()))
+		}
+	}()
+	fail := func(err error) error {
+		_, _ = writeFrame(conn, frameError, []byte(err.Error()))
+		return err
+	}
+
+	typ, payload, _, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("reading HELLO: %w", err)
+	}
+	if typ != frameHello {
+		return fail(fmt.Errorf("cluster: expected HELLO, got frame 0x%02x", typ))
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return fail(err)
+	}
+	var m *stream.Machine
+	switch h.task {
+	case taskMatching:
+		m = stream.NewMatchingMachine()
+	default: // taskVC, validated by decodeHello
+		nHint := 0
+		if h.known {
+			nHint = h.n
+		}
+		m = stream.NewVCMachine(h.k, nHint)
+	}
+	if _, err := writeFrame(conn, frameAck, []byte{protocolVersion}); err != nil {
+		return fmt.Errorf("writing ACK: %w", err)
+	}
+
+	for {
+		typ, payload, _, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("machine %d: reading frame: %w", h.machine, err)
+		}
+		switch typ {
+		case frameShard:
+			edges, rest, err := graph.DecodeEdgeBatch(payload)
+			if err != nil {
+				return fail(err)
+			}
+			if len(rest) != 0 {
+				return fail(fmt.Errorf("cluster: %d trailing bytes in SHARD", len(rest)))
+			}
+			for _, e := range edges {
+				m.Add(e)
+			}
+		case frameEOS:
+			n, k := binary.Uvarint(payload)
+			if k <= 0 || n > maxVertices {
+				// Finish allocates O(n) state; an unvalidated count is the
+				// one allocation maxFramePayload cannot bound.
+				return fail(errors.New("cluster: corrupt EOS"))
+			}
+			sum := m.Finish(int(n))
+			if _, err := writeFrame(conn, frameCoreset, appendSummary(nil, h.task, sum)); err != nil {
+				return fmt.Errorf("machine %d: writing CORESET: %w", h.machine, err)
+			}
+			w.served.Add(1)
+			return nil
+		default:
+			return fail(fmt.Errorf("cluster: unexpected frame 0x%02x mid-shard", typ))
+		}
+	}
+}

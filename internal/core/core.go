@@ -59,7 +59,10 @@ func GreedyMatchCombine(n int, coresets [][]graph.Edge) *matching.Matching {
 }
 
 // CoresetSizeBytes returns the encoded size of a matching coreset message,
-// used for communication accounting.
+// used for communication accounting. It charges the varint delta edge-batch
+// codec — the same encoding the cluster runtime puts on the wire — so a
+// simulated estimate and a measured CORESET payload are the same function of
+// the same edge list.
 func CoresetSizeBytes(coreset []graph.Edge) int {
-	return graph.EncodedEdgeBytes(coreset)
+	return graph.EdgeBatchBytes(coreset)
 }

@@ -94,9 +94,11 @@ func ComposeVCGreedy(n int, coresets []*VCCoreset) []graph.ID {
 }
 
 // VCCoresetSizeBytes returns the encoded message size of a VC coreset
-// (fixed vertex ids plus residual edges), for communication accounting.
+// (fixed vertex ids plus residual edges), for communication accounting. The
+// residual is charged at the delta edge-batch codec the cluster runtime uses
+// on the wire, keeping simulated and measured sizes one definition.
 func VCCoresetSizeBytes(cs *VCCoreset) int {
-	return graph.EncodedIDBytes(cs.Fixed) + graph.EncodedEdgeBytes(cs.Residual)
+	return graph.EncodedIDBytes(cs.Fixed) + graph.EdgeBatchBytes(cs.Residual)
 }
 
 // VCCoresetSize returns the paper's size measure for a VC coreset: number

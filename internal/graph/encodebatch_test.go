@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// TestEdgeBatchRoundTrip: encode→decode must reproduce the batch exactly and
+// consume exactly the encoded bytes, for sorted, unsorted and empty inputs.
+func TestEdgeBatchRoundTrip(t *testing.T) {
+	cases := [][]Edge{
+		nil,
+		{},
+		{{0, 0}},
+		{{0, 1}, {1, 2}, {2, 3}},
+		{{5, 3}, {0, 9}, {1000000, 2}, {7, 7}},
+		{{1 << 30, 1<<30 + 1}, {0, 1 << 30}},
+	}
+	for i, edges := range cases {
+		buf := AppendEdgeBatch([]byte{0xAA}, edges) // nonempty dst: append semantics
+		got, rest, err := DecodeEdgeBatch(buf[1:])
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d bytes left over", i, len(rest))
+		}
+		if len(edges) == 0 {
+			if got != nil {
+				t.Fatalf("case %d: empty batch decoded to %v", i, got)
+			}
+		} else if !reflect.DeepEqual(got, edges) {
+			t.Fatalf("case %d: got %v want %v", i, got, edges)
+		}
+		if want := EdgeBatchBytes(edges); want != len(buf)-1 {
+			t.Fatalf("case %d: EdgeBatchBytes %d, encoding is %d", i, want, len(buf)-1)
+		}
+	}
+}
+
+// TestEdgeBatchSortedBeatsPlain: on a sorted edge list the delta encoding
+// must not be larger than the plain encoding (it is the accounting format
+// for coreset messages, which are produced sorted).
+func TestEdgeBatchSortedBeatsPlain(t *testing.T) {
+	var edges []Edge
+	for u := ID(0); u < 3000; u += 3 {
+		edges = append(edges, Edge{u, u + 1}, Edge{u, u + 257})
+	}
+	SortEdges(edges)
+	if d, p := EdgeBatchBytes(edges), EncodedEdgeBytes(edges); d > p {
+		t.Fatalf("delta %d bytes > plain %d bytes on sorted input", d, p)
+	}
+}
+
+func TestEdgeBatchCorrupt(t *testing.T) {
+	for _, data := range [][]byte{
+		{},                 // no count
+		{0x05},             // count 5, no payload
+		{0x01, 0x80},       // truncated varint U
+		{0x01, 0x01, 0x80}, // truncated varint V
+		{0x01, 0x01},       // count 1, V missing entirely
+	} {
+		if _, _, err := DecodeEdgeBatch(data); err == nil {
+			t.Fatalf("corrupt input %v accepted", data)
+		}
+	}
+	// Negative endpoint: U delta -1 from prev 0.
+	neg := binary.AppendVarint(binary.AppendUvarint(nil, 1), -1)
+	neg = binary.AppendVarint(neg, 0)
+	if _, _, err := DecodeEdgeBatch(neg); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+// FuzzEdgeBatchCodec fuzzes both directions: arbitrary bytes must decode
+// without panicking, and anything that decodes must re-encode to a
+// round-trip-stable batch; arbitrary edge lists (derived from the input
+// bytes) must survive encode→decode exactly, with EdgeBatchBytes matching
+// the real encoding size.
+func FuzzEdgeBatchCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x02, 0x02})
+	f.Add(AppendEdgeBatch(nil, []Edge{{0, 1}, {5, 2}, {1 << 30, 0}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: decode arbitrary bytes; on success the decoded batch
+		// must round-trip through the codec.
+		if edges, rest, err := DecodeEdgeBatch(data); err == nil {
+			re := AppendEdgeBatch(nil, edges)
+			if len(re) != EdgeBatchBytes(edges) {
+				t.Fatalf("EdgeBatchBytes %d != encoding %d", EdgeBatchBytes(edges), len(re))
+			}
+			back, rest2, err := DecodeEdgeBatch(re)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if len(rest2) != 0 || !reflect.DeepEqual(back, edges) {
+				t.Fatalf("re-decode mismatch: %v vs %v", back, edges)
+			}
+			_ = rest
+		}
+
+		// Direction 2: build an edge list from the raw bytes and round-trip it.
+		var edges []Edge
+		for i := 0; i+8 <= len(data); i += 8 {
+			u := ID(binary.LittleEndian.Uint32(data[i:]) &^ (1 << 31))
+			v := ID(binary.LittleEndian.Uint32(data[i+4:]) &^ (1 << 31))
+			edges = append(edges, Edge{u, v})
+		}
+		buf := AppendEdgeBatch(nil, edges)
+		if len(buf) != EdgeBatchBytes(edges) {
+			t.Fatalf("EdgeBatchBytes %d != encoding %d", EdgeBatchBytes(edges), len(buf))
+		}
+		got, rest, err := DecodeEdgeBatch(buf)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("round trip left %d bytes", len(rest))
+		}
+		if len(edges) == 0 {
+			if got != nil {
+				t.Fatalf("empty batch decoded non-nil")
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, edges) {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}

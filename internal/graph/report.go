@@ -12,7 +12,7 @@ package graph
 // batch-only) are omitted from the JSON encoding when empty.
 type RunReport struct {
 	Task string `json:"task"` // "matching" | "vc"
-	Mode string `json:"mode"` // "batch" | "stream"
+	Mode string `json:"mode"` // "batch" | "stream" | "cluster"
 	N    int    `json:"n"`    // vertices
 	M    int    `json:"m"`    // edges read
 	K    int    `json:"k"`    // machines
@@ -32,8 +32,17 @@ type RunReport struct {
 	CoresetEdges []int `json:"coresetEdges"`           // edges per coreset message
 	CoresetFixed []int `json:"coresetFixed,omitempty"` // fixed vertices per message (vc)
 
-	TotalCommBytes   int `json:"totalCommBytes"`
-	MaxMachineBytes  int `json:"maxMachineBytes"`
+	// TotalCommBytes/MaxMachineBytes are the encoded sizes of the coreset
+	// messages. In batch and stream mode they are a simulated estimate; in
+	// cluster mode they are MEASURED off the TCP connections, and the
+	// simulated estimate is carried alongside in EstCommBytes /
+	// EstMaxMachineBytes for comparison (experiment E20).
+	TotalCommBytes     int `json:"totalCommBytes"`
+	MaxMachineBytes    int `json:"maxMachineBytes"`
+	EstCommBytes       int `json:"estCommBytes,omitempty"`       // cluster only
+	EstMaxMachineBytes int `json:"estMaxMachineBytes,omitempty"` // cluster only
+	// ShardBytes is the measured coordinator-to-worker traffic (cluster only).
+	ShardBytes       int `json:"shardBytes,omitempty"`
 	CompositionEdges int `json:"compositionEdges"`
 	Batches          int `json:"batches,omitempty"` // source batches (streaming)
 

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestClusterModeJobs: a daemon configured with a worker fleet runs mode
+// "cluster" jobs against it, the report carries measured wire bytes, and
+// the composed solution matches the in-process stream pipeline for the same
+// (graph, seed, k).
+func TestClusterModeJobs(t *testing.T) {
+	const k = 2
+	addrs, shutdown, err := cluster.ServeLoopback(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	_, c := newTestService(t, Config{Workers: 2, ClusterWorkers: addrs})
+
+	var info GraphInfo
+	if code := c.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "gnp", N: 2000, Deg: 8, Seed: 3}}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+
+	run := func(mode string) JobView {
+		v := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: k, Seed: 5, Mode: mode})
+		if v.State != string(JobDone) {
+			t.Fatalf("%s job ended %s: %s", mode, v.State, v.Error)
+		}
+		return v
+	}
+	cr := run(ModeCluster).Result
+	sr := run(ModeStream).Result
+
+	if cr.Mode != "cluster" {
+		t.Fatalf("cluster job reported mode %q", cr.Mode)
+	}
+	if cr.SolutionSize != sr.SolutionSize {
+		t.Fatalf("cluster solution %d differs from stream %d", cr.SolutionSize, sr.SolutionSize)
+	}
+	if cr.TotalCommBytes <= 0 || cr.EstCommBytes != sr.TotalCommBytes {
+		t.Fatalf("cluster bytes measured %d / est %d, stream %d",
+			cr.TotalCommBytes, cr.EstCommBytes, sr.TotalCommBytes)
+	}
+
+	// A repeated cluster query is a cache hit, like any other mode.
+	again := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: k, Seed: 5, Mode: ModeCluster})
+	if !again.Cached {
+		t.Fatal("repeated cluster job missed the cache")
+	}
+
+	// k must name the fleet size.
+	if code := c.postJSON("/v1/jobs", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: k + 1, Seed: 5, Mode: ModeCluster}, nil); code != http.StatusBadRequest {
+		t.Fatalf("k mismatch accepted with status %d", code)
+	}
+}
+
+// TestClusterModeRejectedWithoutFleet: without -cluster the daemon rejects
+// cluster jobs up front with a client error, not a failed job.
+func TestClusterModeRejectedWithoutFleet(t *testing.T) {
+	_, c := newTestService(t, Config{Workers: 1})
+	var info GraphInfo
+	if code := c.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "star", N: 100}}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+	if code := c.postJSON("/v1/jobs", CreateJobRequest{Graph: info.ID, Task: TaskVC, K: 2, Seed: 1, Mode: ModeCluster}, nil); code != http.StatusBadRequest {
+		t.Fatalf("cluster job accepted with status %d on a fleetless daemon", code)
+	}
+}

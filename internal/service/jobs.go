@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/stream"
@@ -17,6 +18,9 @@ var (
 	ErrQueueFull    = errors.New("service: job queue full")
 	ErrShuttingDown = errors.New("service: shutting down")
 	ErrUnknownGraph = errors.New("service: unknown graph")
+	// ErrNoCluster rejects mode "cluster" jobs on a daemon started without
+	// a worker fleet (coresetd -cluster).
+	ErrNoCluster = errors.New("service: no cluster workers configured")
 )
 
 // JobState is a job's lifecycle position. Transitions are
@@ -110,7 +114,10 @@ type Manager struct {
 	queue     chan *Job
 	workers   int
 	retention int
-	wg        sync.WaitGroup
+	// clusterWorkers is the worker fleet mode "cluster" jobs dispatch to
+	// (immutable after construction; empty means cluster jobs are rejected).
+	clusterWorkers []string
+	wg             sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -129,8 +136,9 @@ type Manager struct {
 // NewManager starts workers goroutines consuming a queue of queueDepth
 // pending jobs. The most recent `retention` terminal jobs stay pollable;
 // older ones are pruned so a long-running daemon's memory stays bounded
-// (<= 0: keep everything).
-func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int) *Manager {
+// (<= 0: keep everything). clusterWorkers, when non-empty, is the fleet
+// mode "cluster" jobs run against.
+func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int, clusterWorkers []string) *Manager {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -139,14 +147,15 @@ func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		reg:        reg,
-		cache:      cache,
-		queue:      make(chan *Job, queueDepth),
-		workers:    workers,
-		retention:  retention,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*Job),
+		reg:            reg,
+		cache:          cache,
+		queue:          make(chan *Job, queueDepth),
+		workers:        workers,
+		retention:      retention,
+		clusterWorkers: append([]string(nil), clusterWorkers...),
+		baseCtx:        ctx,
+		baseCancel:     cancel,
+		jobs:           make(map[string]*Job),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -164,6 +173,17 @@ func (m *Manager) Workers() int { return m.workers }
 func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 	if err := req.normalize(); err != nil {
 		return nil, err
+	}
+	if req.Mode == ModeCluster {
+		if len(m.clusterWorkers) == 0 {
+			return nil, ErrNoCluster
+		}
+		// One machine per worker address: the request's k must name the
+		// fleet size, or the cache key would lie about the partitioning.
+		if req.K != len(m.clusterWorkers) {
+			return nil, fmt.Errorf("service: cluster mode requires k = %d (the fleet size), got %d",
+				len(m.clusterWorkers), req.K)
+		}
 	}
 	gen, ok := m.reg.Generation(req.Graph)
 	if !ok {
@@ -287,6 +307,27 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			return st.Report(req.Task, req.Seed, sol.Size()), nil
 		default: // TaskVC
 			cover, st, err := stream.VertexCoverContext(j.ctx, src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return st.Report(req.Task, req.Seed, len(cover)), nil
+		}
+	}
+	if req.Mode == ModeCluster {
+		src, err := entry.Source()
+		if err != nil {
+			return nil, err
+		}
+		cfg := cluster.Config{Workers: m.clusterWorkers, Seed: req.Seed, BatchSize: req.Batch}
+		switch req.Task {
+		case TaskMatching:
+			sol, st, err := cluster.Matching(j.ctx, src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return st.Report(req.Task, req.Seed, sol.Size()), nil
+		default: // TaskVC
+			cover, st, err := cluster.VertexCover(j.ctx, src, cfg)
 			if err != nil {
 				return nil, err
 			}

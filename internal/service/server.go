@@ -31,6 +31,10 @@ type Config struct {
 	// JobRetention is how many terminal jobs stay pollable before the
 	// oldest are pruned (default 4096, < 0 to keep everything).
 	JobRetention int
+	// ClusterWorkers lists cluster worker addresses (host:port). When
+	// non-empty, jobs with mode "cluster" are dispatched to them (k must
+	// equal the fleet size); when empty such jobs are rejected.
+	ClusterWorkers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +80,7 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.CacheSize),
 		start: time.Now(),
 	}
-	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention)
+	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention, cfg.ClusterWorkers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)

@@ -38,10 +38,13 @@ const (
 	TaskVC       = "vc"
 )
 
-// Execution modes accepted by the job API.
+// Execution modes accepted by the job API. ModeCluster dispatches the job
+// to the worker fleet the daemon was configured with (coresetd -cluster);
+// it is rejected when no fleet is configured.
 const (
-	ModeBatch  = "batch"
-	ModeStream = "stream"
+	ModeBatch   = "batch"
+	ModeStream  = "stream"
+	ModeCluster = "cluster"
 )
 
 // Hard sanity caps on request parameters: a single unauthenticated request
@@ -155,7 +158,7 @@ func (r *CreateJobRequest) normalize() error {
 	if r.Task != TaskMatching && r.Task != TaskVC {
 		return fmt.Errorf("service: unknown task %q", r.Task)
 	}
-	if r.Mode != ModeBatch && r.Mode != ModeStream {
+	if r.Mode != ModeBatch && r.Mode != ModeStream && r.Mode != ModeCluster {
 		return fmt.Errorf("service: unknown mode %q", r.Mode)
 	}
 	if r.K <= 0 || r.K > MaxJobK {

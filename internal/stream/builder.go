@@ -14,19 +14,22 @@ import (
 // count.
 type builder interface {
 	add(e graph.Edge)
-	finish(n int) summary
+	finish(n int) Summary
 }
 
-// summary is a machine's end-of-stream message to the coordinator: exactly
-// one of the two coreset fields is set, plus accounting.
-type summary struct {
-	machine int
-	coreset []graph.Edge    // Theorem 1: a maximum matching of the partition
-	vc      *core.VCCoreset // Theorem 2: peeled vertices + sparse residual
-	edges   int             // edges routed to this machine
-	stored  int             // edges still held when the stream ended
-	live    int             // matching: online greedy size; vc: online peel count
-	bytes   int             // encoded message size
+// Summary is a machine's end-of-stream message to the coordinator: exactly
+// one of the two coreset fields is set, plus accounting. It is exported so
+// runtimes hosting machines outside this package — the cluster runtime's
+// worker processes (internal/cluster) — emit the very same message type the
+// in-process pipeline does.
+type Summary struct {
+	machine int             // index within one run (set by the pipeline)
+	Coreset []graph.Edge    // Theorem 1: a maximum matching of the partition
+	VC      *core.VCCoreset // Theorem 2: peeled vertices + sparse residual
+	Edges   int             // edges routed to this machine
+	Stored  int             // edges still held when the stream ended
+	Live    int             // matching: online greedy size; vc: online peel count
+	Bytes   int             // encoded message size (simulated estimate)
 }
 
 // matchingBuilder is the Theorem 1 machine. It stores its partition — the
@@ -50,13 +53,13 @@ func (b *matchingBuilder) add(e graph.Edge) {
 	b.live.Add(e)
 }
 
-func (b *matchingBuilder) finish(n int) summary {
+func (b *matchingBuilder) finish(n int) Summary {
 	cs := core.MatchingCoreset(n, b.edges)
-	return summary{
-		coreset: cs,
-		stored:  len(b.edges),
-		live:    b.live.Size(),
-		bytes:   core.CoresetSizeBytes(cs),
+	return Summary{
+		Coreset: cs,
+		Stored:  len(b.edges),
+		Live:    b.live.Size(),
+		Bytes:   core.CoresetSizeBytes(cs),
 	}
 }
 
@@ -135,18 +138,18 @@ func (b *vcBuilder) peel(v graph.ID) {
 	}
 }
 
-func (b *vcBuilder) finish(n int) summary {
+func (b *vcBuilder) finish(n int) Summary {
 	var cs *core.VCCoreset
 	if b.threshold == 0 {
 		cs = core.ComputeVCCoreset(n, b.k, b.stored)
 	} else {
 		cs = b.finishFromLevel2(n)
 	}
-	return summary{
-		vc:     cs,
-		stored: len(b.stored),
-		live:   b.nPeeled,
-		bytes:  core.VCCoresetSizeBytes(cs),
+	return Summary{
+		VC:     cs,
+		Stored: len(b.stored),
+		Live:   b.nPeeled,
+		Bytes:  core.VCCoresetSizeBytes(cs),
 	}
 }
 
@@ -185,6 +188,6 @@ func (b *vcBuilder) finishFromLevel2(n int) *core.VCCoreset {
 type collectBuilder struct{ edges []graph.Edge }
 
 func (b *collectBuilder) add(e graph.Edge) { b.edges = append(b.edges, e) }
-func (b *collectBuilder) finish(n int) summary {
-	return summary{coreset: b.edges, stored: len(b.edges)}
+func (b *collectBuilder) finish(n int) Summary {
+	return Summary{Coreset: b.edges, Stored: len(b.edges)}
 }

@@ -1,0 +1,48 @@
+package stream
+
+import "repro/internal/graph"
+
+// Machine is one machine's incremental coreset builder behind an exported
+// facade, for runtimes that host the paper's machines outside this package.
+// The cluster runtime's worker processes (internal/cluster) feed a Machine
+// from SHARD frames exactly as this package's goroutines feed their builders
+// from channel batches — one implementation of the per-machine algorithms,
+// so an in-process run and a cluster run over the same k-partitioning are
+// bit-for-bit identical by construction.
+//
+// Add is called once per routed edge, in arrival order, from one goroutine;
+// Finish is called exactly once, with the final vertex count, after the last
+// Add.
+type Machine struct {
+	b        builder
+	received int
+}
+
+// NewMatchingMachine returns the Theorem 1 machine (stored partition, live
+// greedy telemetry, exact end-of-stream maximum matching).
+func NewMatchingMachine() *Machine {
+	return &Machine{b: newMatchingBuilder()}
+}
+
+// NewVCMachine returns the Theorem 2 machine for a k-machine run. nHint > 0
+// declares the vertex count upfront and enables online level-1 peeling;
+// nHint = 0 stores the partition and peels entirely at Finish.
+func NewVCMachine(k, nHint int) *Machine {
+	return &Machine{b: newVCBuilder(k, nHint)}
+}
+
+// Add feeds one routed edge.
+func (m *Machine) Add(e graph.Edge) {
+	m.received++
+	m.b.add(e)
+}
+
+// Received returns how many edges have been added.
+func (m *Machine) Received() int { return m.received }
+
+// Finish computes the end-of-stream summary for a final vertex count of n.
+func (m *Machine) Finish(n int) Summary {
+	s := m.b.finish(n)
+	s.Edges = m.received
+	return s
+}

@@ -143,9 +143,9 @@ func MatchingContext(ctx context.Context, src EdgeSource, cfg Config) (*matching
 	}
 	coresets := make([][]graph.Edge, cfg.K)
 	for i, s := range sums {
-		coresets[i] = s.coreset
-		st.CoresetEdges = append(st.CoresetEdges, len(s.coreset))
-		st.CompositionEdges += len(s.coreset)
+		coresets[i] = s.Coreset
+		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
+		st.CompositionEdges += len(s.Coreset)
 	}
 	m := core.ComposeMatching(st.N, coresets)
 	st.Duration = time.Since(start)
@@ -170,10 +170,10 @@ func VertexCoverContext(ctx context.Context, src EdgeSource, cfg Config) ([]grap
 	}
 	coresets := make([]*core.VCCoreset, cfg.K)
 	for i, s := range sums {
-		coresets[i] = s.vc
-		st.CoresetEdges = append(st.CoresetEdges, len(s.vc.Residual))
-		st.CoresetFixed = append(st.CoresetFixed, len(s.vc.Fixed))
-		st.CompositionEdges += len(s.vc.Residual)
+		coresets[i] = s.VC
+		st.CoresetEdges = append(st.CoresetEdges, len(s.VC.Residual))
+		st.CoresetFixed = append(st.CoresetFixed, len(s.VC.Fixed))
+		st.CompositionEdges += len(s.VC.Residual)
 	}
 	cover := core.ComposeVC(st.N, coresets)
 	st.Duration = time.Since(start)
@@ -193,7 +193,7 @@ func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
 	}
 	parts := make([][]graph.Edge, cfg.K)
 	for i, s := range sums {
-		parts[i] = s.coreset
+		parts[i] = s.Coreset
 	}
 	return parts, st, nil
 }
@@ -206,7 +206,7 @@ func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
 // source batch and on every (possibly blocking) channel send; an in-progress
 // per-machine finish computation is never interrupted, but canceled runs
 // skip finish entirely.
-func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]summary, *Stats, error) {
+func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]Summary, *Stats, error) {
 	if src == nil {
 		return nil, nil, errors.New("stream: nil source")
 	}
@@ -225,7 +225,7 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 		nFinal  int
 		nReady  = make(chan struct{})
 		abort   = make(chan struct{})
-		results = make(chan summary, k)
+		results = make(chan Summary, k)
 		wg      sync.WaitGroup
 	)
 	chans := make([]chan []graph.Edge, k)
@@ -251,7 +251,7 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 			}
 			s := b.finish(nFinal)
 			s.machine = machine
-			s.edges = received
+			s.Edges = received
 			results <- s
 		}(i)
 	}
@@ -335,7 +335,7 @@ shard:
 		return nil, nil, err
 	}
 
-	sums := make([]summary, k)
+	sums := make([]Summary, k)
 	st := &Stats{
 		K:           k,
 		N:           nFinal,
@@ -347,12 +347,12 @@ shard:
 	}
 	for s := range results {
 		sums[s.machine] = s
-		st.PartEdges[s.machine] = s.edges
-		st.StoredEdges[s.machine] = s.stored
-		st.Live[s.machine] = s.live
-		st.TotalCommBytes += s.bytes
-		if s.bytes > st.MaxMachineBytes {
-			st.MaxMachineBytes = s.bytes
+		st.PartEdges[s.machine] = s.Edges
+		st.StoredEdges[s.machine] = s.Stored
+		st.Live[s.machine] = s.Live
+		st.TotalCommBytes += s.Bytes
+		if s.Bytes > st.MaxMachineBytes {
+			st.MaxMachineBytes = s.Bytes
 		}
 	}
 	st.Duration = time.Since(start)

@@ -155,7 +155,7 @@ func TestVCBuilderDeepParity(t *testing.T) {
 			for _, e := range p {
 				b.add(e)
 			}
-			got := b.finish(g.N).vc
+			got := b.finish(g.N).VC
 			want := core.ComputeVCCoreset(g.N, k, p)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d machine %d: online-peel coreset differs from batch:\ngot  %+v\nwant %+v", seed, i, got, want)
