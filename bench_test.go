@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per experiment (E1..E20, the paper's
+// Benchmark harness: one benchmark per experiment (E1..E21, the paper's
 // "tables and figures" plus the systems experiments) and micro-benchmarks of
 // the hot kernels. Each
 // experiment benchmark executes the same code path as cmd/experiments -quick
@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/expt"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -63,6 +64,7 @@ func BenchmarkE17GreedyTrajectory(b *testing.B)    { benchExperiment(b, "E17") }
 func BenchmarkE18PeelingSandwich(b *testing.B)     { benchExperiment(b, "E18") }
 func BenchmarkE19StreamVsBatch(b *testing.B)       { benchExperiment(b, "E19") }
 func BenchmarkE20ClusterComm(b *testing.B)         { benchExperiment(b, "E20") }
+func BenchmarkE21EDCS(b *testing.B)                { benchExperiment(b, "E21") }
 
 // --- kernel micro-benchmarks -------------------------------------------
 
@@ -173,6 +175,36 @@ func BenchmarkMapReduceFiltering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mapreduce.FilteringMatching(g, g.N, uint64(i))
 	}
+}
+
+// BenchmarkEDCSVsMatchingCoreset prices the two per-machine summaries on
+// the same partition: the EDCS (insertion + degree-constraint repair, edge
+// list of ~beta*n/2 edges) against the Theorem 1 maximum matching (exact
+// matcher, <= n/2 edges). Reported metrics: per-op wall time plus the
+// coreset sizes in edges and encoded bytes (the communication the paper
+// counts). Baseline numbers are committed in BENCH_edcs.json.
+func BenchmarkEDCSVsMatchingCoreset(b *testing.B) {
+	g := benchGraph(16384, 24, 31)
+	part := partition.HashK(g.Edges, 8, 31)[0] // one machine's share
+	p := edcs.ParamsForBeta(16)
+	b.Run("edcs", func(b *testing.B) {
+		b.ReportAllocs()
+		var cs []graph.Edge
+		for i := 0; i < b.N; i++ {
+			cs = edcs.Coreset(g.N, part, p)
+		}
+		b.ReportMetric(float64(len(cs)), "coresetedges")
+		b.ReportMetric(float64(core.CoresetSizeBytes(cs)), "coresetbytes")
+	})
+	b.Run("matching", func(b *testing.B) {
+		b.ReportAllocs()
+		var cs []graph.Edge
+		for i := 0; i < b.N; i++ {
+			cs = core.MatchingCoreset(g.N, part)
+		}
+		b.ReportMetric(float64(len(cs)), "coresetedges")
+		b.ReportMetric(float64(core.CoresetSizeBytes(cs)), "coresetbytes")
+	})
 }
 
 // BenchmarkStreamPipeline measures the streaming sharded runtime end to end

@@ -7,10 +7,16 @@
 //
 //	coreset -task matching -k 8 -in graph.txt
 //	coreset -task vc -k 8 -in graph.txt
+//	coreset -task edcs -beta 16 -k 8 -in graph.txt    (EDCS coreset)
 //	coreset -task matching -gen gnp -n 10000 -deg 8   (synthetic input)
 //	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
 //	coreset -task vc -cluster host:p1,host:p2 -in g   (cluster runtime)
 //	coreset -task vc -cluster local -k 4 -in g        (self-spawned workers)
+//
+// Tasks: matching and vc are the paper's Theorem 1/2 coresets; edcs is the
+// edge-degree constrained subgraph coreset of "Coresets Meet EDCS"
+// (arXiv:1711.03076), a (3/2+eps)-approximate matching coreset whose degree
+// bound is set with -beta. All three run in every runtime below.
 //
 // The default (batch) mode materializes the graph and partitions it with a
 // single sequential RNG. With -stream the input is never materialized:
@@ -53,6 +59,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -71,8 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("coreset", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		task      = fs.String("task", "matching", "problem: matching | vc")
+		task      = fs.String("task", "matching", "problem: matching | vc | edcs")
 		k         = fs.Int("k", 4, "number of machines")
+		beta      = fs.Int("beta", 0, "EDCS degree bound for -task edcs (0 = default)")
 		in        = fs.String("in", "", "input edge-list file ('-' for stdin)")
 		genName   = fs.String("gen", "", "synthetic input: gnp | powerlaw | star")
 		n         = fs.Int("n", 10000, "vertices for -gen")
@@ -93,16 +101,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *beta != 0 {
+		// Match the service's validation exactly: -beta only means something
+		// for the EDCS task, and it is an error — never a silent fallback or
+		// a silently ignored flag — outside [2, edcs.MaxBeta].
+		if *task != "edcs" {
+			fmt.Fprintf(stderr, "coreset: -beta only applies to -task edcs (got -task %s)\n", *task)
+			return 2
+		}
+		if *beta < 2 || *beta > edcs.MaxBeta {
+			fmt.Fprintf(stderr, "coreset: -beta %d is not a usable EDCS degree bound (need 0 or [2, %d])\n", *beta, edcs.MaxBeta)
+			return 2
+		}
+	}
 	if *workerM {
 		return runWorker(stdout, stderr)
 	}
 	if *clusterTo != "" {
-		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *clusterTo, *quiet, *jsonOut, stdout, stderr)
+		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *clusterTo, *quiet, *jsonOut, stdout, stderr)
 	}
 	if *streaming {
-		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *quiet, *jsonOut, stdout, stderr)
+		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *quiet, *jsonOut, stdout, stderr)
 	}
-	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *quiet, *jsonOut, stdout, stderr)
+	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *quiet, *jsonOut, stdout, stderr)
 }
 
 // emitReport writes the JSON run report, the CLI's machine-readable output.
@@ -115,7 +136,7 @@ func emitReport(stdout io.Writer, rep *graph.RunReport) int {
 	return 0
 }
 
-func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	g, err := loadGraph(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -165,6 +186,26 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 				st.TotalCommBytes, st.MaxMachineBytes)
 		}
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (distributed, %d machines)\n", len(cover), k)
+	case "edcs":
+		p := edcs.ParamsForBeta(beta)
+		start := time.Now()
+		m, st := edcs.Distributed(g, k, workers, seed, p)
+		d := time.Since(start)
+		if err := matching.Verify(g.N, g.Edges, m); err != nil {
+			fmt.Fprintln(stderr, "coreset: internal error:", err)
+			return 1
+		}
+		if jsonOut {
+			rep := st.Report(task, g.N, g.M(), seed, m.Size(), d)
+			rep.Beta = p.Beta
+			return emitReport(stdout, rep)
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
+				st.TotalCommBytes, st.MaxMachineBytes)
+		}
+		fmt.Fprintf(stdout, "edcs: %d edges matched (distributed, %d machines)\n", m.Size(), k)
 	default:
 		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
 		return 2
@@ -172,7 +213,7 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 	return 0
 }
 
-func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	src, closeSrc, err := openSource(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -215,6 +256,24 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 			fmt.Fprintf(stdout, "stored vs received per machine: %v / %v\n", st.StoredEdges, st.PartEdges)
 		}
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (streamed, %d machines)\n", len(cover), k)
+	case "edcs":
+		p := edcs.ParamsForBeta(beta)
+		m, st, err := stream.EDCS(src, cfg, p)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if jsonOut {
+			rep := st.Report(task, seed, m.Size())
+			rep.Beta = p.Beta
+			return emitReport(stdout, rep)
+		}
+		if !quiet {
+			printStreamStats(stdout, st)
+			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
+			fmt.Fprintf(stdout, "repair removals per machine: %v\n", st.Live)
+		}
+		fmt.Fprintf(stdout, "edcs: %d edges matched (streamed, %d machines)\n", m.Size(), k)
 	default:
 		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
 		return 2
@@ -265,7 +324,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -316,6 +375,23 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
 		}
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (cluster, %d machines)\n", len(cover), k)
+	case "edcs":
+		p := edcs.ParamsForBeta(beta)
+		m, st, err := cluster.EDCS(ctx, src, cfg, p)
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if jsonOut {
+			rep := st.Report(task, seed, m.Size())
+			rep.Beta = p.Beta
+			return emitReport(stdout, rep)
+		}
+		if !quiet {
+			printClusterStats(stdout, st)
+			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
+		}
+		fmt.Fprintf(stdout, "edcs: %d edges matched (cluster, %d machines)\n", m.Size(), k)
 	default:
 		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
 		return 2

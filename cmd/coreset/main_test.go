@@ -1,11 +1,11 @@
 package main
 
 import (
-	"encoding/json"
-
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -274,6 +274,88 @@ func TestJSONGoldenStreamVC(t *testing.T) {
 }`
 	if got := normalizeReport(t, out); got != want {
 		t.Fatalf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Golden test for -task edcs -json: fixed input, fixed seed and β, exact
+// report (modulo wall clock). On this bounded-degree input P2 forces the
+// whole partition into H, so coresetEdges equals partEdges.
+func TestJSONGoldenBatchEDCS(t *testing.T) {
+	out, errOut, code := runCLI(t, "-task", "edcs", "-k", "2", "-seed", "3", "-beta", "8", "-json", "-in", writePath10(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want := `{
+  "task": "edcs",
+  "mode": "batch",
+  "n": 10,
+  "m": 9,
+  "k": 2,
+  "seed": 3,
+  "beta": 8,
+  "solutionSize": 5,
+  "partEdges": [
+    3,
+    6
+  ],
+  "coresetEdges": [
+    3,
+    6
+  ],
+  "totalCommBytes": 20,
+  "maxMachineBytes": 13,
+  "compositionEdges": 9,
+  "durationMs": 0
+}`
+	if got := normalizeReport(t, out); got != want {
+		t.Fatalf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// A -beta the EDCS cannot use — or on a task it does not apply to — must be
+// rejected up front (matching the service's validation), never silently
+// replaced by the default or silently ignored.
+func TestCLIRejectsUnusableBeta(t *testing.T) {
+	for name, args := range map[string][]string{
+		"too-small":  {"-task", "edcs", "-beta", "1", "-gen", "gnp", "-n", "100"},
+		"too-large":  {"-task", "edcs", "-beta", "2000000", "-gen", "gnp", "-n", "100"},
+		"wrong-task": {"-task", "matching", "-beta", "16", "-gen", "gnp", "-n", "100"},
+	} {
+		_, errOut, code := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%s: exited %d, want 2", name, code)
+		}
+		if !strings.Contains(errOut, "beta") {
+			t.Fatalf("%s: stderr = %q", name, errOut)
+		}
+	}
+}
+
+// The EDCS streaming runtime must emit the identical report fields for the
+// same input (mode and streaming telemetry aside) — CLI-level seed parity.
+func TestEDCSStreamMatchesBatch(t *testing.T) {
+	args := []string{"-task", "edcs", "-gen", "gnp", "-n", "1500", "-deg", "25", "-seed", "11", "-k", "4", "-beta", "16", "-json"}
+	outBatch, errOut, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("batch exit %d, stderr: %s", code, errOut)
+	}
+	outStream, errOut, code := runCLI(t, append(args, "-stream")...)
+	if code != 0 {
+		t.Fatalf("stream exit %d, stderr: %s", code, errOut)
+	}
+	var b, s graph.RunReport
+	if err := json.Unmarshal([]byte(outBatch), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(outStream), &s); err != nil {
+		t.Fatal(err)
+	}
+	if b.SolutionSize == 0 || b.SolutionSize != s.SolutionSize {
+		t.Fatalf("solutions differ: batch %d, stream %d", b.SolutionSize, s.SolutionSize)
+	}
+	if !reflect.DeepEqual(b.CoresetEdges, s.CoresetEdges) || b.TotalCommBytes != s.TotalCommBytes {
+		t.Fatalf("coreset accounting differs:\nbatch  %v (%d B)\nstream %v (%d B)",
+			b.CoresetEdges, b.TotalCommBytes, s.CoresetEdges, s.TotalCommBytes)
 	}
 }
 

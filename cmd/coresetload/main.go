@@ -31,7 +31,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
@@ -61,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", 32, "total jobs to run")
 		conc     = fs.Int("c", 4, "concurrent clients")
 		seeds    = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the service cache)")
+		warmup   = fs.Int("warmup", -1, "jobs excluded from latency percentiles as warmup (-1 = auto: one wave of clients for -target cluster, 0 for service)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,11 +74,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *target == "cluster" {
-		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *jobs, *conc, *seeds, *timeout, stdout, stderr)
+		// Cluster cold-start (dials, worker first-touch) lands on the first
+		// wave of jobs; exclude one wave per client unless told otherwise.
+		w := *warmup
+		if w < 0 {
+			w = *conc
+		}
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *jobs, *conc, *seeds, w, *timeout, stdout, stderr)
 	}
 	if *target != "service" {
 		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
 		return 2
+	}
+	if *warmup < 0 {
+		*warmup = 0 // service cold-vs-hit asymmetry is the point; keep all samples by default
 	}
 
 	lg := &loadgen{base: *addr, client: &http.Client{Timeout: 2 * time.Minute}}
@@ -131,20 +140,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wg.Wait()
 	wall := time.Since(start)
 
-	if len(latencies) == 0 {
+	sum, ok := summarize(latencies, *warmup)
+	if !ok {
 		fmt.Fprintln(stderr, "coresetload: no job succeeded")
 		return 1
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
-	fmt.Fprintf(stdout, "%d jobs in %.2fs (%.1f jobs/sec), %d failed\n",
-		len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures)
+	fmt.Fprintf(stdout, "%d jobs in %.2fs (%.1f jobs/sec), %d failed, %d excluded as warmup\n",
+		len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures, sum.Excluded)
 	fmt.Fprintf(stdout, "latency: p50 %s  p90 %s  p99 %s  max %s\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+		sum.P50.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
+		sum.P99.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
 
 	var st service.StatsView
 	if err := lg.getJSON("/v1/stats", &st); err != nil {
@@ -164,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // replays through the in-process streaming runtime so the two latency
 // distributions print side by side. Concurrent clients exercise the workers'
 // many-runs-at-once path.
-func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, jobs, conc, seeds int, timeout time.Duration, stdout, stderr io.Writer) int {
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, jobs, conc, seeds, warmup int, timeout time.Duration, stdout, stderr io.Writer) int {
 	if clusterW == "" {
 		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
 		return 2
@@ -244,18 +249,15 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 	}
 
 	report := func(label string, latencies []time.Duration, failures int, wall time.Duration) bool {
-		if len(latencies) == 0 {
+		sum, ok := summarize(latencies, warmup)
+		if !ok {
 			fmt.Fprintf(stderr, "coresetload: no %s job succeeded\n", label)
 			return false
 		}
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(p float64) time.Duration {
-			return latencies[int(p*float64(len(latencies)-1))]
-		}
-		fmt.Fprintf(stdout, "%-10s %d jobs in %.2fs (%.1f jobs/sec), %d failed; latency p50 %s  p90 %s  p99 %s  max %s\n",
-			label+":", len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures,
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+		fmt.Fprintf(stdout, "%-10s %d jobs in %.2fs (%.1f jobs/sec), %d failed, %d warmup; latency p50 %s  p90 %s  p99 %s  max %s\n",
+			label+":", len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures, sum.Excluded,
+			sum.P50.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
+			sum.P99.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
 		return failures == 0
 	}
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// latencySummary is the client-side latency digest the tool prints: a
+// warmup window is excluded first (in completion order, so cold-start
+// samples — connection setup, first-touch allocations, cold caches — drop
+// out of the percentiles), then percentiles are read from the sorted
+// remainder by the nearest-rank definition.
+type latencySummary struct {
+	Kept     []time.Duration // post-warmup samples, sorted ascending
+	Excluded int             // samples dropped as warmup
+	P50      time.Duration
+	P90      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// summarize digests latencies (in completion order) with the first `warmup`
+// samples excluded. If the warmup window would swallow every sample it is
+// ignored — reporting nothing helps nobody — and all samples are kept.
+// Returns ok=false only for an empty input.
+func summarize(latencies []time.Duration, warmup int) (latencySummary, bool) {
+	var s latencySummary
+	if len(latencies) == 0 {
+		return s, false
+	}
+	if warmup < 0 {
+		warmup = 0
+	}
+	if warmup >= len(latencies) {
+		warmup = 0
+	}
+	s.Excluded = warmup
+	s.Kept = append([]time.Duration(nil), latencies[warmup:]...)
+	sort.Slice(s.Kept, func(i, j int) bool { return s.Kept[i] < s.Kept[j] })
+	s.P50 = percentile(s.Kept, 0.50)
+	s.P90 = percentile(s.Kept, 0.90)
+	s.P99 = percentile(s.Kept, 0.99)
+	s.Max = s.Kept[len(s.Kept)-1]
+	return s, true
+}
+
+// percentile returns the nearest-rank percentile of a sorted, non-empty
+// sample: the smallest value such that at least p·N samples are <= it
+// (rank ⌈p·N⌉, 1-indexed). Unlike the truncating index formula it replaces
+// (int(p·(N−1)), which at N=4 reported the 3rd sample as the p99), the
+// nearest-rank p99 of a small sample is its maximum — the honest answer.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted)) * p)
+	if float64(rank) < float64(len(sorted))*p { // ceil for fractional ranks
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -62,6 +62,23 @@
 // communication as n and k scale, and BenchmarkClusterVsStream (baseline in
 // BENCH_cluster.json) prices the wire against the in-process runtime.
 //
+// Beyond the paper's own summaries, internal/edcs implements the
+// edge-degree constrained subgraph coreset of the follow-up work "Coresets
+// Meet EDCS" (Assadi, Bateni, Bernstein, Mirrokni, Stein; arXiv:1711.03076):
+// a subgraph H in which every H-edge has bounded endpoint H-degrees (≤ β)
+// and every non-H-edge already sees β⁻ worth of them. A per-machine EDCS is
+// a randomized composable coreset whose union contains a (3/2+ε)-approximate
+// maximum matching — strictly better than Theorem 1's O(1) — at the same
+// O~(n) size. The construction is edge insertion with degree-constraint
+// repair, a pure function of the machine's arrival order, so EDCS runs are
+// bit-for-bit identical across all four runtimes: task "edcs" is first-class
+// in the CLI (-task edcs, with -beta), the streaming builders
+// (stream.EDCS), the cluster wire protocol (the HELLO frame carries β, β⁻),
+// and the service job API. Experiment E21 prices the EDCS against the
+// Theorem 1 coreset (approximation ratio, coreset bytes, measured cluster
+// communication) and BenchmarkEDCSVsMatchingCoreset (baseline in
+// BENCH_edcs.json) compares the per-machine summary costs.
+//
 // Above both runtimes sits the service layer (internal/service, served by
 // cmd/coresetd): a long-running daemon that keeps graphs and their composed
 // results resident, which is how the paper frames randomized composable
@@ -79,9 +96,10 @@
 //	                   │        (LRU, hit/miss counters)                          │
 //	                   └──────────────────────────────────────────────────────────┘
 //
-// A job names a registered graph, a task (matching or vc), k, a seed and a
-// mode (batch, stream, or — when the daemon was started with -cluster —
-// cluster, which dispatches the run to the configured coresetworker fleet).
+// A job names a registered graph, a task (matching, vc or edcs), k, a seed
+// and a mode (batch, stream, or — when the daemon was started with -cluster
+// — cluster, which dispatches the run to the configured coresetworker
+// fleet).
 // Because every runtime is a deterministic function of the seed, the
 // composed run report is cacheable: a repeated query is answered from
 // memory without re-running any pipeline (the cache-hit counters in

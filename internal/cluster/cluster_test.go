@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -45,13 +46,15 @@ func TestSeedParityAcrossRuntimes(t *testing.T) {
 	const k = 4
 	addrs := startWorkers(t, k)
 	ctx := context.Background()
+	edcsP := edcs.ParamsForBeta(16)
 	for _, tc := range []struct {
 		task string
 		n    int
 		deg  float64
 	}{
 		{"matching", 800, 8},
-		{"vc", 700, 40}, // high degree so VC peeling fires several levels
+		{"vc", 700, 40},   // high degree so VC peeling fires several levels
+		{"edcs", 600, 30}, // dense enough that the EDCS actually trims
 	} {
 		for seed := uint64(1); seed <= 4; seed++ {
 			g := parityGraph(seed, tc.n, tc.deg)
@@ -61,7 +64,7 @@ func TestSeedParityAcrossRuntimes(t *testing.T) {
 
 			switch tc.task {
 			case "matching":
-				sums, _, err := run(ctx, src, cfg, taskMatching)
+				sums, _, err := run(ctx, src, cfg, taskMatching, edcs.Params{})
 				if err != nil {
 					t.Fatalf("matching seed %d: %v", seed, err)
 				}
@@ -93,8 +96,37 @@ func TestSeedParityAcrossRuntimes(t *testing.T) {
 				}
 				checkMeasuredBytes(t, cst, sst.TotalCommBytes)
 
+			case "edcs":
+				sums, _, err := run(ctx, src, cfg, taskEDCS, edcsP)
+				if err != nil {
+					t.Fatalf("edcs seed %d: %v", seed, err)
+				}
+				// Per-machine EDCSs survive the wire deep-equal to the batch
+				// oracle on the same partition.
+				for i, p := range parts {
+					want := edcs.Coreset(g.N, p, edcsP)
+					if !reflect.DeepEqual(sums[i].Coreset, want) {
+						t.Fatalf("seed %d machine %d: cluster EDCS differs from batch", seed, i)
+					}
+				}
+				cm, cst, err := EDCS(ctx, stream.NewGraphSource(g), cfg, edcsP)
+				if err != nil {
+					t.Fatalf("edcs seed %d: %v", seed, err)
+				}
+				if err := matching.Verify(g.N, g.Edges, cm); err != nil {
+					t.Fatalf("seed %d: cluster EDCS matching invalid: %v", seed, err)
+				}
+				sm, sst, err := stream.EDCS(stream.NewGraphSource(g), stream.Config{K: k, Seed: seed}, edcsP)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !reflect.DeepEqual(cm.Edges(), sm.Edges()) {
+					t.Fatalf("seed %d: cluster EDCS matching differs from stream", seed)
+				}
+				checkMeasuredBytes(t, cst, sst.TotalCommBytes)
+
 			case "vc":
-				sums, _, err := run(ctx, src, cfg, taskVC)
+				sums, _, err := run(ctx, src, cfg, taskVC, edcs.Params{})
 				if err != nil {
 					t.Fatalf("vc seed %d: %v", seed, err)
 				}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/partition"
@@ -24,17 +25,44 @@ import (
 // the other side of a wire.
 func Matching(ctx context.Context, src stream.EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
 	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, taskMatching)
+	sums, st, err := run(ctx, src, cfg, taskMatching, edcs.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
-	coresets := make([][]graph.Edge, st.K)
+	m := composeEdgeSummaries(sums, st)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// composeEdgeSummaries folds edge-list coresets (Theorem 1 matchings or
+// EDCSs — the pipelines share this tail) into the stats and composes the
+// final maximum matching of their union.
+func composeEdgeSummaries(sums []stream.Summary, st *Stats) *matching.Matching {
+	coresets := make([][]graph.Edge, len(sums))
 	for i, s := range sums {
 		coresets[i] = s.Coreset
 		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
 		st.CompositionEdges += len(s.Coreset)
 	}
-	m := core.ComposeMatching(st.N, coresets)
+	return core.ComposeMatching(st.N, coresets)
+}
+
+// EDCS runs the EDCS coreset pipeline (arXiv:1711.03076) across the
+// configured workers: each worker maintains a dynamic edge-degree
+// constrained subgraph of its shard and answers with the sorted H edge
+// list; the coordinator composes a maximum matching of the union. The
+// degree constraints travel in the HELLO frame, so the worker machines are
+// parameterized identically to an in-process run.
+func EDCS(ctx context.Context, src stream.EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, taskEDCS, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := composeEdgeSummaries(sums, st)
 	st.Duration = time.Since(start)
 	return m, st, nil
 }
@@ -43,7 +71,7 @@ func Matching(ctx context.Context, src stream.EdgeSource, cfg Config) (*matching
 // returns the composed cover.
 func VertexCover(ctx context.Context, src stream.EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
 	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, taskVC)
+	sums, st, err := run(ctx, src, cfg, taskVC, edcs.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -81,7 +109,8 @@ type workerResult struct {
 // so no goroutine can stay blocked on the network. Every exit path closes
 // the batch channels and waits for the connection goroutines, so run never
 // leaks.
-func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte) ([]stream.Summary, *Stats, error) {
+// ep carries the EDCS degree constraints for taskEDCS (zero otherwise).
+func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep edcs.Params) ([]stream.Summary, *Stats, error) {
 	if src == nil {
 		return nil, nil, errors.New("cluster: nil source")
 	}
@@ -161,7 +190,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte) ([]s
 			stopWatch := closeOnCancel(runCtx, conn)
 			defer stopWatch()
 
-			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint}
+			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep}
 			n, err := writeFrame(conn, frameHello, encodeHello(h))
 			res.sent += n
 			if err != nil {

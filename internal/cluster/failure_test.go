@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"runtime"
@@ -279,6 +280,89 @@ func TestWorkerShutdownDrains(t *testing.T) {
 	}
 	if w.Served() != 1 {
 		t.Fatalf("worker served %d runs, want 1", w.Served())
+	}
+}
+
+// TestWorkerShutdownRacesShardFrames: Shutdown arriving while SHARD frames
+// are still streaming into an in-flight run must drain — the run completes
+// and answers with a CORESET — not drop the connection mid-shard. The frames
+// are spoken by hand so the test controls exactly where in the stream the
+// shutdown lands.
+func TestWorkerShutdownRacesShardFrames(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(nil)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	h := hello{version: protocolVersion, task: taskMatching, machine: 0, k: 1, known: true, n: 1000}
+	if _, err := writeFrame(conn, frameHello, encodeHello(h)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, _, err := readFrame(conn); err != nil || typ != frameAck {
+		t.Fatalf("handshake: typ 0x%02x err %v", typ, err)
+	}
+
+	// First SHARD lands before the shutdown begins.
+	batch := func(base graph.ID) []byte {
+		var edges []graph.Edge
+		for i := graph.ID(0); i < 50; i++ {
+			edges = append(edges, graph.Edge{U: base + 2*i, V: base + 2*i + 1})
+		}
+		return graph.AppendEdgeBatch(nil, edges)
+	}
+	if _, err := writeFrame(conn, frameShard, batch(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown concurrently with the rest of the shard stream.
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- w.Shutdown(ctx)
+	}()
+	for i := 1; i <= 5; i++ {
+		if _, err := writeFrame(conn, frameShard, batch(graph.ID(100*i))); err != nil {
+			t.Fatalf("SHARD %d after Shutdown started: %v", i, err)
+		}
+	}
+	var eos [binary.MaxVarintLen64]byte
+	if _, err := writeFrame(conn, frameEOS, eos[:binary.PutUvarint(eos[:], 1000)]); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _, err := readFrame(conn)
+	if err != nil || typ != frameCoreset {
+		t.Fatalf("want CORESET after drain, got typ 0x%02x err %v", typ, err)
+	}
+	sum, err := decodeSummary(taskMatching, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Edges != 300 {
+		t.Fatalf("drained run saw %d edges, want 300", sum.Edges)
+	}
+	conn.Close()
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if w.Served() != 1 {
+		t.Fatalf("worker served %d runs, want 1", w.Served())
+	}
+	// The drained worker accepts no new runs.
+	if c, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after Shutdown")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/stream"
 )
@@ -17,6 +18,7 @@ import (
 // A run-assignment is one TCP connection speaking a fixed sequence:
 //
 //	coordinator -> worker   HELLO      task, machine index, k, optional n
+//	                                   (+ EDCS degree constraints for task edcs)
 //	worker -> coordinator   ACK        protocol version echo
 //	coordinator -> worker   SHARD*     varint delta edge batch (graph codec)
 //	coordinator -> worker   EOS        final vertex count
@@ -41,10 +43,13 @@ const (
 	frameError
 )
 
-// Task bytes carried in HELLO.
+// Task bytes carried in HELLO. taskEDCS extends the HELLO payload with the
+// two EDCS degree constraints; peers that predate it reject the unknown
+// task byte, so no protocol version bump is needed.
 const (
 	taskMatching byte = 1
 	taskVC       byte = 2
+	taskEDCS     byte = 3
 )
 
 // maxFramePayload bounds a single frame so a corrupt or hostile peer cannot
@@ -99,7 +104,8 @@ func readFrame(r io.Reader) (typ byte, payload []byte, n int, err error) {
 }
 
 // hello is the HELLO payload: which machine of which kind of run this
-// connection carries.
+// connection carries. EDCS runs additionally carry the degree constraints,
+// so the worker builds the identical machine the in-process runtime would.
 type hello struct {
 	version byte
 	task    byte
@@ -107,6 +113,7 @@ type hello struct {
 	k       int
 	known   bool // vertex count declared upfront (enables online peeling)
 	n       int
+	edcs    edcs.Params // taskEDCS only
 }
 
 func encodeHello(h hello) []byte {
@@ -117,6 +124,10 @@ func encodeHello(h hello) []byte {
 	buf = binary.AppendUvarint(buf, uint64(h.machine))
 	buf = binary.AppendUvarint(buf, uint64(h.k))
 	buf = binary.AppendUvarint(buf, uint64(h.n))
+	if h.task == taskEDCS {
+		buf = binary.AppendUvarint(buf, uint64(h.edcs.Beta))
+		buf = binary.AppendUvarint(buf, uint64(h.edcs.BetaMinus))
+	}
 	return buf
 }
 
@@ -127,19 +138,45 @@ func decodeHello(data []byte) (hello, error) {
 	}
 	h.version, h.task, h.known = data[0], data[1], data[2] == 1
 	data = data[3:]
-	vals := make([]uint64, 3)
-	for i := range vals {
+	uvarint := func() (uint64, error) {
 		v, k := binary.Uvarint(data)
 		if k <= 0 {
-			return h, fmt.Errorf("cluster: corrupt HELLO")
+			return 0, fmt.Errorf("cluster: corrupt HELLO")
 		}
-		vals[i], data = v, data[k:]
+		data = data[k:]
+		return v, nil
+	}
+	vals := make([]uint64, 3)
+	for i := range vals {
+		v, err := uvarint()
+		if err != nil {
+			return h, err
+		}
+		vals[i] = v
 	}
 	h.machine, h.k, h.n = int(vals[0]), int(vals[1]), int(vals[2])
 	if h.version != protocolVersion {
 		return h, fmt.Errorf("cluster: protocol version %d, want %d", h.version, protocolVersion)
 	}
-	if h.task != taskMatching && h.task != taskVC {
+	switch h.task {
+	case taskMatching, taskVC:
+	case taskEDCS:
+		beta, err := uvarint()
+		if err != nil {
+			return h, err
+		}
+		betaMinus, err := uvarint()
+		if err != nil {
+			return h, err
+		}
+		if beta > edcs.MaxBeta {
+			return h, fmt.Errorf("cluster: EDCS beta %d exceeds the cap of %d", beta, edcs.MaxBeta)
+		}
+		h.edcs = edcs.Params{Beta: int(beta), BetaMinus: int(betaMinus)}
+		if err := h.edcs.Validate(); err != nil {
+			return h, err
+		}
+	default:
 		return h, fmt.Errorf("cluster: unknown task 0x%02x", h.task)
 	}
 	if h.k <= 0 || h.k > maxK || h.machine < 0 || h.machine >= h.k {
@@ -158,7 +195,7 @@ func appendSummary(dst []byte, task byte, s stream.Summary) []byte {
 	dst = binary.AppendUvarint(dst, uint64(s.Edges))
 	dst = binary.AppendUvarint(dst, uint64(s.Stored))
 	dst = binary.AppendUvarint(dst, uint64(s.Live))
-	if task == taskMatching {
+	if task != taskVC { // matching and EDCS coresets are both plain edge lists
 		return graph.AppendEdgeBatch(dst, s.Coreset)
 	}
 	// VC: the levels (in peel order; Fixed is their concatenation, so it is
@@ -189,7 +226,7 @@ func decodeSummary(task byte, data []byte) (stream.Summary, error) {
 	}
 	s.Edges, s.Stored, s.Live = int(vals[0]), int(vals[1]), int(vals[2])
 
-	if task == taskMatching {
+	if task != taskVC { // matching and EDCS coresets are both plain edge lists
 		edges, rest, err := graph.DecodeEdgeBatch(data)
 		if err != nil {
 			return s, err

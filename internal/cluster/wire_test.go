@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -65,6 +66,7 @@ func TestHelloRoundTrip(t *testing.T) {
 	for _, h := range []hello{
 		{version: protocolVersion, task: taskMatching, machine: 0, k: 1},
 		{version: protocolVersion, task: taskVC, machine: 7, k: 8, known: true, n: 1 << 20},
+		{version: protocolVersion, task: taskEDCS, machine: 2, k: 4, known: true, n: 1 << 10, edcs: edcs.ParamsForBeta(32)},
 	} {
 		got, err := decodeHello(encodeHello(h))
 		if err != nil {
@@ -86,6 +88,9 @@ func TestHelloRejectsBadFields(t *testing.T) {
 		// n drives an O(n) allocation in the VC machine; a worker that
 		// accepted an unbounded count could be crashed by one frame.
 		"huge-n": {version: protocolVersion, task: taskVC, k: 1, known: true, n: maxVertices + 1},
+		// EDCS params the dynamic subgraph cannot satisfy, or absurdly large.
+		"edcs-invalid": {version: protocolVersion, task: taskEDCS, k: 1, edcs: edcs.Params{Beta: 4, BetaMinus: 4}},
+		"edcs-huge":    {version: protocolVersion, task: taskEDCS, k: 1, edcs: edcs.Params{Beta: edcs.MaxBeta + 1, BetaMinus: 1}},
 	} {
 		if _, err := decodeHello(encodeHello(h)); err == nil {
 			t.Fatalf("%s: bad HELLO accepted", name)
@@ -164,6 +169,8 @@ func TestSummaryCodecParity(t *testing.T) {
 		{"vc-online-peel", taskVC, feed(stream.NewVCMachine(4, g.N), g.Edges)},
 		{"vc-no-hint", taskVC, feed(stream.NewVCMachine(4, 0), g.Edges)},
 		{"vc-empty", taskVC, feed(stream.NewVCMachine(4, g.N), nil)},
+		{"edcs", taskEDCS, feed(stream.NewEDCSMachine(g.N, edcs.ParamsForBeta(8)), g.Edges)},
+		{"edcs-empty", taskEDCS, feed(stream.NewEDCSMachine(0, edcs.ParamsForBeta(8)), nil)},
 	}
 	for _, tc := range cases {
 		got, err := decodeSummary(tc.task, appendSummary(nil, tc.task, tc.sum))

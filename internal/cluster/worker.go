@@ -161,15 +161,17 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 	if err != nil {
 		return fail(err)
 	}
+	nHint := 0
+	if h.known {
+		nHint = h.n
+	}
 	var m *stream.Machine
 	switch h.task {
 	case taskMatching:
 		m = stream.NewMatchingMachine()
+	case taskEDCS:
+		m = stream.NewEDCSMachine(nHint, h.edcs)
 	default: // taskVC, validated by decodeHello
-		nHint := 0
-		if h.known {
-			nHint = h.n
-		}
 		m = stream.NewVCMachine(h.k, nHint)
 	}
 	if _, err := writeFrame(conn, frameAck, []byte{protocolVersion}); err != nil {

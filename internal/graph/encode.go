@@ -16,10 +16,36 @@ import (
 // the plain format is used for accounting because protocol messages are not
 // required to be sorted.
 
-// AppendEdges appends the encoding of edges to dst and returns it.
+// MaxID is the largest encodable vertex identifier. IDs are int32, so the
+// only out-of-range values are negative ones; every encoder rejects them
+// with a typed panic instead of letting a uint32 cast wrap them into huge
+// (or, after decode, different) identifiers on the wire.
+const MaxID = ID(^uint32(0) >> 1)
+
+// IDRangeError reports a vertex identifier outside [0, MaxID]. The binary
+// encoders panic with it — an unencodable ID in a coreset message is a
+// programming error, exactly like an out-of-range slice index — and the
+// decoders return it wrapped for corrupt input.
+type IDRangeError struct{ ID int64 }
+
+func (e *IDRangeError) Error() string {
+	return fmt.Sprintf("graph: vertex id %d outside the encodable range [0, %d]", e.ID, MaxID)
+}
+
+// checkID panics with a typed *IDRangeError on an unencodable identifier.
+func checkID(v ID) {
+	if v < 0 {
+		panic(&IDRangeError{ID: int64(v)})
+	}
+}
+
+// AppendEdges appends the encoding of edges to dst and returns it. Panics
+// with *IDRangeError on out-of-range endpoints.
 func AppendEdges(dst []byte, edges []Edge) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(edges)))
 	for _, e := range edges {
+		checkID(e.U)
+		checkID(e.V)
 		dst = binary.AppendUvarint(dst, uint64(uint32(e.U)))
 		dst = binary.AppendUvarint(dst, uint64(uint32(e.V)))
 	}
@@ -54,17 +80,24 @@ func DecodeEdges(data []byte) (edges []Edge, rest []byte, err error) {
 			return nil, nil, fmt.Errorf("graph: corrupt edge encoding (edge %d V)", i)
 		}
 		data = data[kv:]
-		edges = append(edges, Edge{ID(uint32(u)), ID(uint32(v))})
+		if u > uint64(MaxID) {
+			return nil, nil, fmt.Errorf("graph: corrupt edge encoding (edge %d): %w", i, &IDRangeError{ID: int64(u)})
+		}
+		if v > uint64(MaxID) {
+			return nil, nil, fmt.Errorf("graph: corrupt edge encoding (edge %d): %w", i, &IDRangeError{ID: int64(v)})
+		}
+		edges = append(edges, Edge{ID(u), ID(v)})
 	}
 	return edges, data, nil
 }
 
 // AppendIDs appends the encoding of a vertex-id list (uvarint count followed
 // by uvarint ids). Used for the "fixed solution" part of vertex-cover
-// coreset messages.
+// coreset messages. Panics with *IDRangeError on out-of-range ids.
 func AppendIDs(dst []byte, ids []ID) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(ids)))
 	for _, v := range ids {
+		checkID(v)
 		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
 	}
 	return dst
@@ -93,16 +126,23 @@ func DecodeIDs(data []byte) (ids []ID, rest []byte, err error) {
 			return nil, nil, fmt.Errorf("graph: corrupt id encoding (id %d)", i)
 		}
 		data = data[kv:]
-		ids = append(ids, ID(uint32(v)))
+		if v > uint64(MaxID) {
+			return nil, nil, fmt.Errorf("graph: corrupt id encoding (id %d): %w", i, &IDRangeError{ID: int64(v)})
+		}
+		ids = append(ids, ID(v))
 	}
 	return ids, data, nil
 }
 
 // EncodedEdgeBytes returns the exact byte size of EncodeEdges(edges) without
-// materializing the buffer; used on accounting-only paths.
+// materializing the buffer; used on accounting-only paths. It applies the
+// same ID range check as the encoder, so accounting can never succeed on a
+// message the encoder would refuse.
 func EncodedEdgeBytes(edges []Edge) int {
 	n := uvarintLen(uint64(len(edges)))
 	for _, e := range edges {
+		checkID(e.U)
+		checkID(e.V)
 		n += uvarintLen(uint64(uint32(e.U))) + uvarintLen(uint64(uint32(e.V)))
 	}
 	return n
@@ -112,6 +152,7 @@ func EncodedEdgeBytes(edges []Edge) int {
 func EncodedIDBytes(ids []ID) int {
 	n := uvarintLen(uint64(len(ids)))
 	for _, v := range ids {
+		checkID(v)
 		n += uvarintLen(uint64(uint32(v)))
 	}
 	return n
@@ -139,10 +180,14 @@ func uvarintLen(x uint64) int {
 // encoding.
 
 // AppendEdgeBatch appends the delta encoding of edges to dst and returns it.
+// Panics with *IDRangeError on out-of-range endpoints — without the check a
+// negative ID would encode into a payload this codec's own decoder rejects.
 func AppendEdgeBatch(dst []byte, edges []Edge) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(edges)))
 	prev := int64(0)
 	for _, e := range edges {
+		checkID(e.U)
+		checkID(e.V)
 		dst = binary.AppendVarint(dst, int64(e.U)-prev)
 		dst = binary.AppendVarint(dst, int64(e.V)-int64(e.U))
 		prev = int64(e.U)
@@ -180,8 +225,11 @@ func DecodeEdgeBatch(data []byte) (edges []Edge, rest []byte, err error) {
 		data = data[kv:]
 		u := prev + du
 		v := u + dv
-		if u < 0 || u > int64(^uint32(0)>>1) || v < 0 || v > int64(^uint32(0)>>1) {
-			return nil, nil, fmt.Errorf("graph: corrupt edge batch (edge %d out of ID range)", i)
+		if u < 0 || u > int64(MaxID) {
+			return nil, nil, fmt.Errorf("graph: corrupt edge batch (edge %d): %w", i, &IDRangeError{ID: u})
+		}
+		if v < 0 || v > int64(MaxID) {
+			return nil, nil, fmt.Errorf("graph: corrupt edge batch (edge %d): %w", i, &IDRangeError{ID: v})
 		}
 		edges = append(edges, Edge{ID(u), ID(v)})
 		prev = u
@@ -195,6 +243,8 @@ func EdgeBatchBytes(edges []Edge) int {
 	n := uvarintLen(uint64(len(edges)))
 	prev := int64(0)
 	for _, e := range edges {
+		checkID(e.U)
+		checkID(e.V)
 		n += varintLen(int64(e.U)-prev) + varintLen(int64(e.V)-int64(e.U))
 		prev = int64(e.U)
 	}

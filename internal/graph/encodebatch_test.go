@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/binary"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -16,6 +17,8 @@ func TestEdgeBatchRoundTrip(t *testing.T) {
 		{{0, 1}, {1, 2}, {2, 3}},
 		{{5, 3}, {0, 9}, {1000000, 2}, {7, 7}},
 		{{1 << 30, 1<<30 + 1}, {0, 1 << 30}},
+		// The ID range boundary: MaxID must round-trip exactly.
+		{{MaxID, MaxID}, {0, MaxID}, {MaxID, 0}},
 	}
 	for i, edges := range cases {
 		buf := AppendEdgeBatch([]byte{0xAA}, edges) // nonempty dst: append semantics
@@ -65,11 +68,77 @@ func TestEdgeBatchCorrupt(t *testing.T) {
 			t.Fatalf("corrupt input %v accepted", data)
 		}
 	}
-	// Negative endpoint: U delta -1 from prev 0.
+	// Negative endpoint: U delta -1 from prev 0. The rejection carries the
+	// typed range error.
 	neg := binary.AppendVarint(binary.AppendUvarint(nil, 1), -1)
 	neg = binary.AppendVarint(neg, 0)
-	if _, _, err := DecodeEdgeBatch(neg); err == nil {
-		t.Fatal("negative endpoint accepted")
+	var ire *IDRangeError
+	if _, _, err := DecodeEdgeBatch(neg); err == nil || !errors.As(err, &ire) {
+		t.Fatalf("negative endpoint: err = %v, want *IDRangeError", err)
+	}
+	// Endpoint one past MaxID (V = U + delta overflowing the ID range).
+	over := binary.AppendVarint(binary.AppendUvarint(nil, 1), int64(MaxID))
+	over = binary.AppendVarint(over, 1)
+	if _, _, err := DecodeEdgeBatch(over); err == nil || !errors.As(err, &ire) {
+		t.Fatalf("endpoint past MaxID: err = %v, want *IDRangeError", err)
+	}
+}
+
+// TestEncodersRejectNegativeIDs: every binary encoder (and its accounting
+// twin) must panic with the typed *IDRangeError instead of wrapping a
+// negative ID through uint32 onto the wire.
+func TestEncodersRejectNegativeIDs(t *testing.T) {
+	badEdges := []Edge{{0, 1}, {-1, 2}}
+	badIDs := []ID{3, -7}
+	cases := map[string]func(){
+		"AppendEdgeBatch":  func() { AppendEdgeBatch(nil, badEdges) },
+		"EdgeBatchBytes":   func() { EdgeBatchBytes(badEdges) },
+		"AppendEdges":      func() { AppendEdges(nil, badEdges) },
+		"EncodedEdgeBytes": func() { EncodedEdgeBytes(badEdges) },
+		"AppendIDs":        func() { AppendIDs(nil, badIDs) },
+		"EncodedIDBytes":   func() { EncodedIDBytes(badIDs) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				ire, ok := r.(*IDRangeError)
+				if !ok {
+					t.Fatalf("panic value %v (%T), want *IDRangeError", r, r)
+				}
+				if ire.ID >= 0 {
+					t.Fatalf("reported ID %d is not the out-of-range one", ire.ID)
+				}
+			}()
+			fn()
+			t.Fatal("negative ID encoded without panic")
+		})
+	}
+}
+
+// TestDecodersRejectOversizedIDs: the plain codecs must reject uvarints
+// above MaxID instead of truncating them through uint32 — the decode-side
+// half of the same silent-wrap bug.
+func TestDecodersRejectOversizedIDs(t *testing.T) {
+	var ire *IDRangeError
+	huge := uint64(MaxID) + 1
+	edges := binary.AppendUvarint(nil, 1)
+	edges = binary.AppendUvarint(edges, huge)
+	edges = binary.AppendUvarint(edges, 0)
+	if _, _, err := DecodeEdges(edges); err == nil || !errors.As(err, &ire) {
+		t.Fatalf("DecodeEdges: err = %v, want *IDRangeError", err)
+	}
+	ids := binary.AppendUvarint(nil, 1)
+	ids = binary.AppendUvarint(ids, huge)
+	if _, _, err := DecodeIDs(ids); err == nil || !errors.As(err, &ire) {
+		t.Fatalf("DecodeIDs: err = %v, want *IDRangeError", err)
+	}
+	// MaxID itself is fine in both codecs.
+	if got, _, err := DecodeEdges(EncodeEdges([]Edge{{MaxID, 0}})); err != nil || got[0].U != MaxID {
+		t.Fatalf("MaxID edge rejected: %v %v", got, err)
+	}
+	if got, _, err := DecodeIDs(EncodeIDs([]ID{MaxID})); err != nil || got[0] != MaxID {
+		t.Fatalf("MaxID id rejected: %v %v", got, err)
 	}
 }
 
@@ -83,6 +152,12 @@ func FuzzEdgeBatchCodec(f *testing.F) {
 	f.Add([]byte{0x00})
 	f.Add([]byte{0x01, 0x02, 0x02})
 	f.Add(AppendEdgeBatch(nil, []Edge{{0, 1}, {5, 2}, {1 << 30, 0}}))
+	// ID range boundary seeds: MaxID endpoints (largest legal values, the
+	// widest deltas the zigzag codec must carry) and hand-built payloads
+	// whose deltas land exactly one past the range in each direction.
+	f.Add(AppendEdgeBatch(nil, []Edge{{MaxID, 0}, {0, MaxID}, {MaxID, MaxID}}))
+	f.Add(binary.AppendVarint(binary.AppendVarint(binary.AppendUvarint(nil, 1), int64(MaxID)), 1))
+	f.Add(binary.AppendVarint(binary.AppendVarint(binary.AppendUvarint(nil, 1), -1), 0))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Direction 1: decode arbitrary bytes; on success the decoded batch
 		// must round-trip through the codec.

@@ -11,12 +11,16 @@ package graph
 // (StoredEdges, Live, Batches, EdgesPerSec for streaming; nothing is
 // batch-only) are omitted from the JSON encoding when empty.
 type RunReport struct {
-	Task string `json:"task"` // "matching" | "vc"
+	Task string `json:"task"` // "matching" | "vc" | "edcs"
 	Mode string `json:"mode"` // "batch" | "stream" | "cluster"
 	N    int    `json:"n"`    // vertices
 	M    int    `json:"m"`    // edges read
 	K    int    `json:"k"`    // machines
 	Seed uint64 `json:"seed"` // partitioning seed
+	// Beta is the EDCS degree bound that produced the coresets (task "edcs"
+	// only; omitted otherwise). Without it, reports from different bounds on
+	// the same (graph, seed, k) would be indistinguishable.
+	Beta int `json:"beta,omitempty"`
 
 	// SolutionSize is the composed matching size (edges) or vertex cover
 	// size (vertices).

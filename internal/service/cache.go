@@ -15,7 +15,9 @@ import (
 // generation, not its ID alone, so a different graph re-registered under a
 // reused ID can never be served the old graph's results. Batch is included
 // because, while the composed solution is batch-size-invariant, the report's
-// telemetry (batches, duration, throughput) is not.
+// telemetry (batches, duration, throughput) is not. Beta is the EDCS degree
+// bound (normalize pins it to 0 for the other tasks, so it never splits
+// their keys).
 type Key struct {
 	Graph string
 	Gen   int64
@@ -24,10 +26,11 @@ type Key struct {
 	Seed  uint64
 	Mode  string
 	Batch int
+	Beta  int
 }
 
 func jobKey(r CreateJobRequest, gen int64) Key {
-	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch}
+	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch, Beta: r.Beta}
 }
 
 // Cache is an LRU result cache with hit/miss counters. Stored reports are

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestJobSubmissionStatusCodes pins the HTTP classification of every job
+// rejection: client mistakes are 4xx (validation failures, unsupported
+// deployment modes, unknown graphs), capacity is 503, and nothing a client
+// can type may surface as a 5xx. Submit-side validation is where this
+// regressed historically, so each rejection is asserted by its exact code.
+func TestJobSubmissionStatusCodes(t *testing.T) {
+	_, c := newTestService(t, Config{Workers: 1})
+	var info GraphInfo
+	if code := c.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "star", N: 50}}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+
+	cases := []struct {
+		name string
+		req  CreateJobRequest
+		want int
+	}{
+		{"unknown-task", CreateJobRequest{Graph: info.ID, Task: "nope", K: 2}, http.StatusBadRequest},
+		{"unknown-mode", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Mode: "nope"}, http.StatusBadRequest},
+		{"zero-k", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 0}, http.StatusBadRequest},
+		{"huge-k", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: MaxJobK + 1}, http.StatusBadRequest},
+		{"negative-batch", CreateJobRequest{Graph: info.ID, Task: TaskVC, K: 2, Batch: -1}, http.StatusBadRequest},
+		{"beta-on-matching", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Beta: 8}, http.StatusBadRequest},
+		{"beta-too-small", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Beta: 1}, http.StatusBadRequest},
+		{"beta-too-large", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Beta: MaxJobBeta + 1}, http.StatusBadRequest},
+		{"no-cluster-fleet", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Mode: ModeCluster}, http.StatusBadRequest},
+		{"unknown-graph", CreateJobRequest{Graph: "ghost", Task: TaskMatching, K: 2}, http.StatusNotFound},
+		{"valid", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2}, http.StatusAccepted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := c.postJSON("/v1/jobs", tc.req, nil)
+			if code != tc.want {
+				t.Fatalf("status %d, want %d", code, tc.want)
+			}
+			if tc.want >= 500 || (code >= 500 && tc.want < 500) {
+				t.Fatalf("client-caused rejection surfaced as server error %d", code)
+			}
+		})
+	}
+
+	// The cluster k-mismatch needs a configured fleet to get past the
+	// ErrNoCluster check.
+	addrs, shutdown, err := cluster.ServeLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	_, cf := newTestService(t, Config{Workers: 1, ClusterWorkers: addrs})
+	var finfo GraphInfo
+	if code := cf.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "star", N: 50}}, &finfo); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+	if code := cf.postJSON("/v1/jobs", CreateJobRequest{Graph: finfo.ID, Task: TaskMatching, K: 3, Mode: ModeCluster}, nil); code != http.StatusBadRequest {
+		t.Fatalf("cluster k mismatch: status %d, want %d", code, http.StatusBadRequest)
+	}
+}
+
+// TestEDCSJobsAcrossModes: task "edcs" runs in all three modes, the three
+// reports agree on the composed solution (seed parity through the service
+// layer), and a repeated query hits the cache.
+func TestEDCSJobsAcrossModes(t *testing.T) {
+	const k = 2
+	addrs, shutdown, err := cluster.ServeLoopback(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	_, c := newTestService(t, Config{Workers: 2, ClusterWorkers: addrs})
+
+	var info GraphInfo
+	if code := c.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "gnp", N: 1500, Deg: 20, Seed: 9}}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+
+	sizes := map[string]int{}
+	for _, mode := range []string{ModeBatch, ModeStream, ModeCluster} {
+		v := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: k, Seed: 4, Mode: mode, Beta: 16})
+		if v.State != string(JobDone) {
+			t.Fatalf("edcs %s job ended %s: %s", mode, v.State, v.Error)
+		}
+		if v.Result.Task != TaskEDCS || v.Result.SolutionSize == 0 {
+			t.Fatalf("edcs %s report: %+v", mode, v.Result)
+		}
+		sizes[mode] = v.Result.SolutionSize
+	}
+	if sizes[ModeBatch] != sizes[ModeStream] || sizes[ModeStream] != sizes[ModeCluster] {
+		t.Fatalf("edcs solutions disagree across modes: %v", sizes)
+	}
+
+	again := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: k, Seed: 4, Mode: ModeStream, Beta: 16})
+	if !again.Cached {
+		t.Fatal("repeated edcs job missed the cache")
+	}
+	// A different beta is a different computation: it must not hit the
+	// beta=16 entry.
+	other := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: k, Seed: 4, Mode: ModeStream, Beta: 32})
+	if other.Cached {
+		t.Fatal("different beta served from the old cache entry")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/stream"
 )
@@ -181,7 +182,7 @@ func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 		// One machine per worker address: the request's k must name the
 		// fleet size, or the cache key would lie about the partitioning.
 		if req.K != len(m.clusterWorkers) {
-			return nil, fmt.Errorf("service: cluster mode requires k = %d (the fleet size), got %d",
+			return nil, badRequestf("cluster mode requires k = %d (the fleet size), got %d",
 				len(m.clusterWorkers), req.K)
 		}
 	}
@@ -305,6 +306,14 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 				return nil, err
 			}
 			return st.Report(req.Task, req.Seed, sol.Size()), nil
+		case TaskEDCS:
+			sol, st, err := stream.EDCSContext(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
+			if err != nil {
+				return nil, err
+			}
+			rep := st.Report(req.Task, req.Seed, sol.Size())
+			rep.Beta = req.Beta
+			return rep, nil
 		default: // TaskVC
 			cover, st, err := stream.VertexCoverContext(j.ctx, src, cfg)
 			if err != nil {
@@ -326,6 +335,14 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 				return nil, err
 			}
 			return st.Report(req.Task, req.Seed, sol.Size()), nil
+		case TaskEDCS:
+			sol, st, err := cluster.EDCS(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
+			if err != nil {
+				return nil, err
+			}
+			rep := st.Report(req.Task, req.Seed, sol.Size())
+			rep.Beta = req.Beta
+			return rep, nil
 		default: // TaskVC
 			cover, st, err := cluster.VertexCover(j.ctx, src, cfg)
 			if err != nil {
@@ -351,6 +368,9 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 	case TaskMatching:
 		sol, pst := core.DistributedMatching(g, req.K, 0, req.Seed)
 		size, st = sol.Size(), pst
+	case TaskEDCS:
+		sol, pst := edcs.Distributed(g, req.K, 0, req.Seed, edcs.ParamsForBeta(req.Beta))
+		size, st = sol.Size(), pst
 	default: // TaskVC
 		cover, pst := core.DistributedVertexCover(g, req.K, 0, req.Seed)
 		size, st = len(cover), pst
@@ -359,7 +379,9 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
-	return st.Report(req.Task, g.N, g.M(), req.Seed, size, d), nil
+	rep := st.Report(req.Task, g.N, g.M(), req.Seed, size, d)
+	rep.Beta = req.Beta // nonzero only for TaskEDCS (normalize pins the rest to 0)
+	return rep, nil
 }
 
 // Stats counts jobs by state. Terminal counts are lifetime totals (they

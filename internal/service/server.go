@@ -212,16 +212,23 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.mgr.Submit(req)
+	// Submission errors classify strictly: client mistakes (validation
+	// failures, a mode this deployment cannot serve, an unknown graph) are
+	// 4xx, transient capacity is 503, and anything unrecognized is an
+	// internal fault — 500, never blamed on the client.
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrUnknownGraph):
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
+	case errors.Is(err, ErrInvalidRequest), errors.Is(err, ErrNoCluster):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	default:
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	v := j.View()

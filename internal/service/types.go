@@ -24,18 +24,23 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
-// Task names accepted by the job API.
+// Task names accepted by the job API. TaskEDCS composes a matching from
+// per-machine edge-degree constrained subgraphs (arXiv:1711.03076) instead
+// of the SPAA'17 maximum-matching coresets.
 const (
 	TaskMatching = "matching"
 	TaskVC       = "vc"
+	TaskEDCS     = "edcs"
 )
 
 // Execution modes accepted by the job API. ModeCluster dispatches the job
@@ -60,6 +65,10 @@ const (
 	// MaxJobBatch caps the streaming batch size (the sharder allocates
 	// O(k*batch) buffer space).
 	MaxJobBatch = 1 << 20
+	// MaxJobBeta caps the EDCS degree bound — the one cap (edcs.MaxBeta)
+	// every surface shares, so a request the daemon admits can never be
+	// rejected downstream by the cluster wire protocol.
+	MaxJobBeta = edcs.MaxBeta
 )
 
 // GenSpec describes a synthetic graph by generator name and parameters. The
@@ -144,28 +153,52 @@ type GraphInfo struct {
 // CreateJobRequest is the JSON body of POST /v1/jobs.
 type CreateJobRequest struct {
 	Graph string `json:"graph"`           // registry ID
-	Task  string `json:"task"`            // matching | vc
+	Task  string `json:"task"`            // matching | vc | edcs
 	K     int    `json:"k"`               // number of machines
 	Seed  uint64 `json:"seed"`            // partitioning seed
 	Mode  string `json:"mode,omitempty"`  // batch | stream (default stream)
 	Batch int    `json:"batch,omitempty"` // streaming batch size (0 = default)
+	Beta  int    `json:"beta,omitempty"`  // EDCS degree bound (task edcs; 0 = default)
+}
+
+// ErrInvalidRequest tags every job-submission validation failure, so the
+// HTTP layer can map client mistakes to 4xx without string matching. Server
+// faults stay untagged and surface as 5xx.
+var ErrInvalidRequest = errors.New("service: invalid job request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvalidRequest}, args...)...)
 }
 
 func (r *CreateJobRequest) normalize() error {
 	if r.Mode == "" {
 		r.Mode = ModeStream
 	}
-	if r.Task != TaskMatching && r.Task != TaskVC {
-		return fmt.Errorf("service: unknown task %q", r.Task)
+	switch r.Task {
+	case TaskMatching, TaskVC:
+		if r.Beta != 0 {
+			return badRequestf("beta only applies to task %q (got task %q)", TaskEDCS, r.Task)
+		}
+	case TaskEDCS:
+		if r.Beta == 0 {
+			r.Beta = edcs.DefaultBeta // pin the default so cache keys are canonical
+		}
+		// ParamsForBeta clamps any bound >= 2 into a valid pair, so the range
+		// check here is the whole validation.
+		if r.Beta < 2 || r.Beta > MaxJobBeta {
+			return badRequestf("beta must be in [2, %d] (got %d)", MaxJobBeta, r.Beta)
+		}
+	default:
+		return badRequestf("unknown task %q", r.Task)
 	}
 	if r.Mode != ModeBatch && r.Mode != ModeStream && r.Mode != ModeCluster {
-		return fmt.Errorf("service: unknown mode %q", r.Mode)
+		return badRequestf("unknown mode %q", r.Mode)
 	}
 	if r.K <= 0 || r.K > MaxJobK {
-		return fmt.Errorf("service: k must be in [1, %d] (got %d)", MaxJobK, r.K)
+		return badRequestf("k must be in [1, %d] (got %d)", MaxJobK, r.K)
 	}
 	if r.Batch < 0 || r.Batch > MaxJobBatch {
-		return fmt.Errorf("service: batch must be in [0, %d] (got %d)", MaxJobBatch, r.Batch)
+		return badRequestf("batch must be in [0, %d] (got %d)", MaxJobBatch, r.Batch)
 	}
 	return nil
 }

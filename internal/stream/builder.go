@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 )
@@ -24,11 +25,11 @@ type builder interface {
 // in-process pipeline does.
 type Summary struct {
 	machine int             // index within one run (set by the pipeline)
-	Coreset []graph.Edge    // Theorem 1: a maximum matching of the partition
+	Coreset []graph.Edge    // Theorem 1 maximum matching, or EDCS H-edges
 	VC      *core.VCCoreset // Theorem 2: peeled vertices + sparse residual
 	Edges   int             // edges routed to this machine
 	Stored  int             // edges still held when the stream ended
-	Live    int             // matching: online greedy size; vc: online peel count
+	Live    int             // matching: online greedy size; vc: online peel count; edcs: repair removals
 	Bytes   int             // encoded message size (simulated estimate)
 }
 
@@ -181,6 +182,35 @@ func (b *vcBuilder) finishFromLevel2(n int) *core.VCCoreset {
 	}
 	out.Residual = res.LiveEdges()
 	return out
+}
+
+// edcsBuilder is the EDCS machine (arXiv:1711.03076): a dynamic
+// edge-degree constrained subgraph maintained by insertion with
+// degree-constraint repair. Unlike the Theorem 1 builder it does genuinely
+// incremental summary work on every arrival — H is always a valid
+// EDCS(arrived-so-far, β, β⁻) — and finish only sorts the H edge list into
+// the canonical coreset message. The EDCS is a pure function of the
+// machine's arrival order, which every runtime reproduces from the same
+// hash k-partitioning, so EDCS coresets are bit-for-bit identical across
+// batch, stream and cluster.
+type edcsBuilder struct {
+	sub *edcs.Subgraph
+}
+
+func newEDCSBuilder(nHint int, p edcs.Params) *edcsBuilder {
+	return &edcsBuilder{sub: edcs.New(nHint, p)}
+}
+
+func (b *edcsBuilder) add(e graph.Edge) { b.sub.Insert(e) }
+
+func (b *edcsBuilder) finish(n int) Summary {
+	cs := b.sub.Edges()
+	return Summary{
+		Coreset: cs,
+		Stored:  b.sub.Stored(),
+		Live:    b.sub.Removals(),
+		Bytes:   core.CoresetSizeBytes(cs),
+	}
 }
 
 // collectBuilder records its shard verbatim; Shard uses it to expose the

@@ -1,6 +1,9 @@
 package stream
 
-import "repro/internal/graph"
+import (
+	"repro/internal/edcs"
+	"repro/internal/graph"
+)
 
 // Machine is one machine's incremental coreset builder behind an exported
 // facade, for runtimes that host the paper's machines outside this package.
@@ -29,6 +32,13 @@ func NewMatchingMachine() *Machine {
 // nHint = 0 stores the partition and peels entirely at Finish.
 func NewVCMachine(k, nHint int) *Machine {
 	return &Machine{b: newVCBuilder(k, nHint)}
+}
+
+// NewEDCSMachine returns the EDCS machine (dynamic edge-degree constrained
+// subgraph, arXiv:1711.03076) for the given degree constraints. nHint > 0
+// pre-sizes the per-vertex tables; it never changes the result.
+func NewEDCSMachine(nHint int, p edcs.Params) *Machine {
+	return &Machine{b: newEDCSBuilder(nHint, p)}
 }
 
 // Add feeds one routed edge.

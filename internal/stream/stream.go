@@ -13,9 +13,11 @@
 // partition.RandomK. Each machine goroutine runs an incremental coreset
 // builder (one-pass greedy matching telemetry plus an exact end-of-stream
 // maximum matching for Theorem 1; incremental degree tracking with online
-// level-1 peeling for the Theorem 2 VC-coreset) and emits its summary, with
-// communication accounting, to the coordinator, which composes the final
-// answer exactly as the batch pipeline does.
+// level-1 peeling for the Theorem 2 VC-coreset; a dynamic edge-degree
+// constrained subgraph with insertion-time repair for the EDCS coreset of
+// arXiv:1711.03076) and emits its summary, with communication accounting,
+// to the coordinator, which composes the final answer exactly as the batch
+// pipeline does.
 //
 // Given the same hash k-partitioning, the streaming runtime reproduces the
 // batch pipeline bit for bit (see the parity tests); what it changes is the
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/partition"
@@ -141,13 +144,45 @@ func MatchingContext(ctx context.Context, src EdgeSource, cfg Config) (*matching
 	if err != nil {
 		return nil, nil, err
 	}
-	coresets := make([][]graph.Edge, cfg.K)
+	m := composeEdgeSummaries(sums, st)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// composeEdgeSummaries folds edge-list coresets (Theorem 1 matchings or
+// EDCSs — the pipelines share this tail) into the stats and composes the
+// final maximum matching of their union.
+func composeEdgeSummaries(sums []Summary, st *Stats) *matching.Matching {
+	coresets := make([][]graph.Edge, len(sums))
 	for i, s := range sums {
 		coresets[i] = s.Coreset
 		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
 		st.CompositionEdges += len(s.Coreset)
 	}
-	m := core.ComposeMatching(st.N, coresets)
+	return core.ComposeMatching(st.N, coresets)
+}
+
+// EDCS runs the EDCS coreset pipeline (arXiv:1711.03076) over the stream:
+// hash-shard the edges across cfg.K machines, maintain a per-machine
+// edge-degree constrained subgraph incrementally, and compose a maximum
+// matching of the union of the EDCS coresets.
+func EDCS(src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
+	return EDCSContext(context.Background(), src, cfg, p)
+}
+
+// EDCSContext is EDCS with cooperative cancellation; see MatchingContext.
+func EDCSContext(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
+		return newEDCSBuilder(nHint, p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := composeEdgeSummaries(sums, st)
 	st.Duration = time.Since(start)
 	return m, st, nil
 }
