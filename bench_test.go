@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per experiment (E1..E21, the paper's
+// Benchmark harness: one benchmark per experiment (E1..E22, the paper's
 // "tables and figures" plus the systems experiments) and micro-benchmarks of
 // the hot kernels. Each
 // experiment benchmark executes the same code path as cmd/experiments -quick
@@ -25,6 +25,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/rounds"
 	"repro/internal/stream"
 )
 
@@ -65,6 +66,7 @@ func BenchmarkE18PeelingSandwich(b *testing.B)     { benchExperiment(b, "E18") }
 func BenchmarkE19StreamVsBatch(b *testing.B)       { benchExperiment(b, "E19") }
 func BenchmarkE20ClusterComm(b *testing.B)         { benchExperiment(b, "E20") }
 func BenchmarkE21EDCS(b *testing.B)                { benchExperiment(b, "E21") }
+func BenchmarkE22MultiRoundMPC(b *testing.B)       { benchExperiment(b, "E22") }
 
 // --- kernel micro-benchmarks -------------------------------------------
 
@@ -205,6 +207,37 @@ func BenchmarkEDCSVsMatchingCoreset(b *testing.B) {
 		b.ReportMetric(float64(len(cs)), "coresetedges")
 		b.ReportMetric(float64(core.CoresetSizeBytes(cs)), "coresetbytes")
 	})
+}
+
+// BenchmarkMultiRoundEDCS prices the multi-round MPC driver
+// (internal/rounds) at increasing round caps on one dense input: every extra
+// round adds per-machine EDCS rebuild work and another wave of coreset
+// messages (commbytes grows) but shrinks the union the coordinator must run
+// the exact matcher over (composeedges falls) — which is why deeper runs can
+// be FASTER end to end: the exact matcher dominates, and it now sees a far
+// smaller graph. Baseline numbers are committed in BENCH_rounds.json.
+func BenchmarkMultiRoundEDCS(b *testing.B) {
+	g := benchGraph(16384, 24, 31)
+	p := edcs.ParamsForBeta(8)
+	for _, rc := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("rounds=%d", rc), func(b *testing.B) {
+			b.ReportAllocs()
+			var st *rounds.Stats
+			for i := 0; i < b.N; i++ {
+				m, rst, err := rounds.Batch(g, rounds.Config{K: 16, Rounds: rc, Seed: 31, Params: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Size() == 0 {
+					b.Fatal("empty matching")
+				}
+				st = rst
+			}
+			b.ReportMetric(float64(st.RoundsRun), "rounds")
+			b.ReportMetric(float64(st.CompositionEdges), "composeedges")
+			b.ReportMetric(float64(st.TotalCommBytes), "commbytes")
+		})
+	}
 }
 
 // BenchmarkStreamPipeline measures the streaming sharded runtime end to end

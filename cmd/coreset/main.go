@@ -8,6 +8,7 @@
 //	coreset -task matching -k 8 -in graph.txt
 //	coreset -task vc -k 8 -in graph.txt
 //	coreset -task edcs -beta 16 -k 8 -in graph.txt    (EDCS coreset)
+//	coreset -task edcs -rounds 3 -k 16 -in graph.txt  (multi-round MPC)
 //	coreset -task matching -gen gnp -n 10000 -deg 8   (synthetic input)
 //	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
 //	coreset -task vc -cluster host:p1,host:p2 -in g   (cluster runtime)
@@ -16,7 +17,12 @@
 // Tasks: matching and vc are the paper's Theorem 1/2 coresets; edcs is the
 // edge-degree constrained subgraph coreset of "Coresets Meet EDCS"
 // (arXiv:1711.03076), a (3/2+eps)-approximate matching coreset whose degree
-// bound is set with -beta. All three run in every runtime below.
+// bound is set with -beta. All three run in every runtime below. With
+// -rounds N the EDCS task runs the paper's multi-round MPC algorithm
+// (internal/rounds): shard, build per-machine EDCSs, union, reshard with a
+// fresh seed and a shrunken machine count, for up to N rounds or until the
+// union stops shrinking; the report gains a per-round breakdown, and
+// -rounds 1 reproduces the single-round run exactly.
 //
 // The default (batch) mode materializes the graph and partitions it with a
 // single sequential RNG. With -stream the input is never materialized:
@@ -64,6 +70,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	rnd "repro/internal/rounds"
+	"repro/internal/service"
 	"repro/internal/stream"
 	"repro/internal/vcover"
 )
@@ -81,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		task      = fs.String("task", "matching", "problem: matching | vc | edcs")
 		k         = fs.Int("k", 4, "number of machines")
 		beta      = fs.Int("beta", 0, "EDCS degree bound for -task edcs (0 = default)")
+		rounds    = fs.Int("rounds", 0, "multi-round MPC: iterate the EDCS sketch for up to N rounds (-task edcs; 0 = single round)")
 		in        = fs.String("in", "", "input edge-list file ('-' for stdin)")
 		genName   = fs.String("gen", "", "synthetic input: gnp | powerlaw | star")
 		n         = fs.Int("n", 10000, "vertices for -gen")
@@ -101,29 +110,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *beta != 0 {
-		// Match the service's validation exactly: -beta only means something
-		// for the EDCS task, and it is an error — never a silent fallback or
-		// a silently ignored flag — outside [2, edcs.MaxBeta].
-		if *task != "edcs" {
-			fmt.Fprintf(stderr, "coreset: -beta only applies to -task edcs (got -task %s)\n", *task)
-			return 2
-		}
-		if *beta < 2 || *beta > edcs.MaxBeta {
-			fmt.Fprintf(stderr, "coreset: -beta %d is not a usable EDCS degree bound (need 0 or [2, %d])\n", *beta, edcs.MaxBeta)
-			return 2
-		}
+	// One validator for -beta and -rounds across every surface
+	// (service.ValidateTaskParams is also what coresetd's job API and
+	// cmd/coresetload call): the flags only mean something for the EDCS
+	// task, and each is an error — never a silent fallback or a silently
+	// ignored flag — outside its range, with identical message text
+	// everywhere.
+	if err := service.ValidateTaskParams(*task, *beta, *rounds); err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 2
 	}
 	if *workerM {
 		return runWorker(stdout, stderr)
 	}
 	if *clusterTo != "" {
-		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *clusterTo, *quiet, *jsonOut, stdout, stderr)
+		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *clusterTo, *quiet, *jsonOut, stdout, stderr)
 	}
 	if *streaming {
-		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *quiet, *jsonOut, stdout, stderr)
+		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, stdout, stderr)
 	}
-	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *quiet, *jsonOut, stdout, stderr)
+	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, stdout, stderr)
+}
+
+// roundsConfig assembles the multi-round driver configuration shared by the
+// three runtimes (engaged by -rounds N with N >= 1).
+func roundsConfig(k, roundCap int, seed uint64, p edcs.Params, batch, workers int) rnd.Config {
+	return rnd.Config{K: k, Rounds: roundCap, Seed: seed, Params: p, BatchSize: batch, Workers: workers}
+}
+
+// printRoundStats prints the per-round breakdown of a multi-round run.
+func printRoundStats(stdout io.Writer, st *rnd.Stats, measured bool) {
+	label := "est"
+	if measured {
+		label = "measured"
+	}
+	fmt.Fprintf(stdout, "rounds: %d of %d (cap); total comm %d bytes (%s)\n",
+		st.RoundsRun, st.RoundCap, st.TotalCommBytes, label)
+	for _, rs := range st.Rounds {
+		fmt.Fprintf(stdout, "  round %d: k=%d input=%d union=%d comm=%d bytes\n",
+			rs.Round, rs.K, rs.InputEdges, rs.UnionEdges, rs.TotalCommBytes)
+	}
 }
 
 // emitReport writes the JSON run report, the CLI's machine-readable output.
@@ -136,7 +162,7 @@ func emitReport(stdout io.Writer, rep *graph.RunReport) int {
 	return 0
 }
 
-func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	g, err := loadGraph(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -188,6 +214,25 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (distributed, %d machines)\n", len(cover), k)
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
+		if rounds >= 1 {
+			m, st, err := rnd.Batch(g, roundsConfig(k, rounds, seed, p, 0, workers))
+			if err != nil {
+				fmt.Fprintln(stderr, "coreset:", err)
+				return 1
+			}
+			if err := matching.Verify(g.N, g.Edges, m); err != nil {
+				fmt.Fprintln(stderr, "coreset: internal error:", err)
+				return 1
+			}
+			if jsonOut {
+				return emitReport(stdout, st.Report("batch", seed, m.Size(), p.Beta))
+			}
+			if !quiet {
+				printRoundStats(stdout, st, false)
+			}
+			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
+			return 0
+		}
 		start := time.Now()
 		m, st := edcs.Distributed(g, k, workers, seed, p)
 		d := time.Since(start)
@@ -213,7 +258,7 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 	return 0
 }
 
-func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	src, closeSrc, err := openSource(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -258,6 +303,21 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (streamed, %d machines)\n", len(cover), k)
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
+		if rounds >= 1 {
+			m, st, err := rnd.Stream(context.Background(), src, roundsConfig(k, rounds, seed, p, batch, 0))
+			if err != nil {
+				fmt.Fprintln(stderr, "coreset:", err)
+				return 1
+			}
+			if jsonOut {
+				return emitReport(stdout, st.Report("stream", seed, m.Size(), p.Beta))
+			}
+			if !quiet {
+				printRoundStats(stdout, st, false)
+			}
+			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round streamed, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
+			return 0
+		}
 		m, st, err := stream.EDCS(src, cfg, p)
 		if err != nil {
 			fmt.Fprintln(stderr, "coreset:", err)
@@ -324,7 +384,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -377,6 +437,21 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 		fmt.Fprintf(stdout, "vertex cover: %d vertices (cluster, %d machines)\n", len(cover), k)
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
+		if rounds >= 1 {
+			m, st, err := rnd.Cluster(ctx, src, cfg, roundsConfig(k, rounds, seed, p, batch, 0))
+			if err != nil {
+				fmt.Fprintln(stderr, "coreset:", err)
+				return 1
+			}
+			if jsonOut {
+				return emitReport(stdout, st.Report("cluster", seed, m.Size(), p.Beta))
+			}
+			if !quiet {
+				printRoundStats(stdout, st, true)
+			}
+			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round cluster, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
+			return 0
+		}
 		m, st, err := cluster.EDCS(ctx, src, cfg, p)
 		if err != nil {
 			fmt.Fprintln(stderr, "coreset:", err)

@@ -192,6 +192,9 @@ func normalizeReport(t *testing.T, jsonOut string) string {
 	}
 	rep.DurationMS = 0
 	rep.EdgesPerSec = 0
+	for i := range rep.RoundStats {
+		rep.RoundStats[i].DurationMS = 0
+	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -313,20 +316,145 @@ func TestJSONGoldenBatchEDCS(t *testing.T) {
 }
 
 // A -beta the EDCS cannot use — or on a task it does not apply to — must be
-// rejected up front (matching the service's validation), never silently
-// replaced by the default or silently ignored.
+// rejected up front, never silently replaced by the default or silently
+// ignored, with the SAME message shape coresetd's job validation
+// (service.CreateJobRequest.normalize) produces for the equivalent request,
+// so a user moving between the CLI and the service reads one vocabulary.
+// The expected strings are golden: they must track the service's text.
 func TestCLIRejectsUnusableBeta(t *testing.T) {
-	for name, args := range map[string][]string{
-		"too-small":  {"-task", "edcs", "-beta", "1", "-gen", "gnp", "-n", "100"},
-		"too-large":  {"-task", "edcs", "-beta", "2000000", "-gen", "gnp", "-n", "100"},
-		"wrong-task": {"-task", "matching", "-beta", "16", "-gen", "gnp", "-n", "100"},
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"too-small": {
+			[]string{"-task", "edcs", "-beta", "1", "-gen", "gnp", "-n", "100"},
+			`coreset: beta must be in [2, 1048576] (got 1)`,
+		},
+		"too-large": {
+			[]string{"-task", "edcs", "-beta", "2000000", "-gen", "gnp", "-n", "100"},
+			`coreset: beta must be in [2, 1048576] (got 2000000)`,
+		},
+		"wrong-task": {
+			[]string{"-task", "matching", "-beta", "16", "-gen", "gnp", "-n", "100"},
+			`coreset: beta only applies to task "edcs" (got task "matching")`,
+		},
 	} {
-		_, errOut, code := runCLI(t, args...)
+		_, errOut, code := runCLI(t, tc.args...)
 		if code != 2 {
 			t.Fatalf("%s: exited %d, want 2", name, code)
 		}
-		if !strings.Contains(errOut, "beta") {
-			t.Fatalf("%s: stderr = %q", name, errOut)
+		if strings.TrimSpace(errOut) != tc.want {
+			t.Fatalf("%s: stderr = %q, want %q", name, errOut, tc.want)
+		}
+	}
+}
+
+// -rounds follows the same fail-fast rule as -beta: rejected with the
+// service's message shape on the wrong task or out of range, never silently
+// ignored.
+func TestCLIRejectsUnusableRounds(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"wrong-task": {
+			[]string{"-task", "vc", "-rounds", "2", "-gen", "gnp", "-n", "100"},
+			`coreset: rounds only applies to task "edcs" (got task "vc")`,
+		},
+		"negative": {
+			[]string{"-task", "edcs", "-rounds", "-1", "-gen", "gnp", "-n", "100"},
+			`coreset: rounds must be in [0, 64] (got -1)`,
+		},
+		"too-large": {
+			[]string{"-task", "edcs", "-rounds", "65", "-gen", "gnp", "-n", "100"},
+			`coreset: rounds must be in [0, 64] (got 65)`,
+		},
+	} {
+		_, errOut, code := runCLI(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%s: exited %d, want 2", name, code)
+		}
+		if strings.TrimSpace(errOut) != tc.want {
+			t.Fatalf("%s: stderr = %q, want %q", name, errOut, tc.want)
+		}
+	}
+}
+
+// Golden test for a multi-round -json report: the path graph cannot shrink
+// (P2 keeps every edge), so the driver early-exits after round 0 with a cap
+// of 3, and the report carries the per-round breakdown. The single-round
+// fields (solutionSize, coresetEdges, comm bytes) must match
+// TestJSONGoldenBatchEDCS exactly — rounds=N never changes round 0.
+func TestJSONGoldenMultiRoundEDCS(t *testing.T) {
+	out, errOut, code := runCLI(t, "-task", "edcs", "-k", "2", "-seed", "3", "-beta", "8",
+		"-rounds", "3", "-json", "-in", writePath10(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want := `{
+  "task": "edcs",
+  "mode": "batch",
+  "n": 10,
+  "m": 9,
+  "k": 2,
+  "seed": 3,
+  "beta": 8,
+  "solutionSize": 5,
+  "coresetEdges": [
+    3,
+    6
+  ],
+  "totalCommBytes": 20,
+  "maxMachineBytes": 13,
+  "compositionEdges": 9,
+  "durationMs": 0,
+  "rounds": 3,
+  "roundsRun": 1,
+  "roundStats": [
+    {
+      "round": 0,
+      "k": 2,
+      "seed": 3,
+      "inputEdges": 9,
+      "unionEdges": 9,
+      "totalCommBytes": 20,
+      "maxMachineBytes": 13,
+      "durationMs": 0
+    }
+  ]
+}`
+	if got := normalizeReport(t, out); got != want {
+		t.Fatalf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// A -rounds 1 run must report the identical composition as the single-round
+// EDCS path — across batch and stream — with only the round bookkeeping
+// added: the CLI face of the driver's rounds=1 parity guarantee.
+func TestMultiRoundOneMatchesSingleRoundCLI(t *testing.T) {
+	base := []string{"-task", "edcs", "-gen", "gnp", "-n", "1500", "-deg", "25", "-seed", "11", "-k", "4", "-beta", "16", "-json"}
+	for _, mode := range [][]string{nil, {"-stream"}} {
+		single, errOut, code := runCLI(t, append(append([]string{}, base...), mode...)...)
+		if code != 0 {
+			t.Fatalf("single exit %d, stderr: %s", code, errOut)
+		}
+		multi, errOut, code := runCLI(t, append(append(append([]string{}, base...), "-rounds", "1"), mode...)...)
+		if code != 0 {
+			t.Fatalf("multi exit %d, stderr: %s", code, errOut)
+		}
+		var s, m graph.RunReport
+		if err := json.Unmarshal([]byte(single), &s); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(multi), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.RoundsRun != 1 || len(m.RoundStats) != 1 {
+			t.Fatalf("mode %v: rounds=1 ran %d rounds", mode, m.RoundsRun)
+		}
+		if s.SolutionSize != m.SolutionSize || !reflect.DeepEqual(s.CoresetEdges, m.CoresetEdges) ||
+			s.TotalCommBytes != m.TotalCommBytes || s.MaxMachineBytes != m.MaxMachineBytes {
+			t.Fatalf("mode %v: rounds=1 diverged from single-round:\nsingle %s\nmulti %s", mode, single, multi)
 		}
 	}
 }

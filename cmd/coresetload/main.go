@@ -13,6 +13,11 @@
 // runtime, so the end-to-end cluster latency percentiles print next to the
 // in-process numbers they should be judged against.
 //
+// Task edcs works against both targets, and -rounds N makes every job a
+// multi-round MPC run (internal/rounds): against the service the round cap
+// rides in the job request (and its cache key), against a cluster each job
+// holds one multi-round session over the fleet.
+//
 // Usage:
 //
 //	coresetload -addr http://127.0.0.1:8440 -gen gnp -n 20000 -deg 8 \
@@ -35,6 +40,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/edcs"
+	"repro/internal/rounds"
 	"repro/internal/service"
 	"repro/internal/stream"
 )
@@ -54,7 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n        = fs.Int("n", 20000, "vertices")
 		deg      = fs.Float64("deg", 8, "average degree (gnp)")
 		gseed    = fs.Uint64("graphseed", 1, "generator seed")
-		task     = fs.String("task", "matching", "job task: matching | vc")
+		task     = fs.String("task", "matching", "job task: matching | vc | edcs")
+		beta     = fs.Int("beta", 0, "EDCS degree bound (task edcs; 0 = default)")
+		rounds   = fs.Int("rounds", 0, "multi-round MPC round cap (task edcs; 0 = single round)")
 		k        = fs.Int("k", 4, "machines per job (-target service; cluster uses the fleet size)")
 		mode     = fs.String("mode", "stream", "job mode: stream | batch (-target service)")
 		jobs     = fs.Int("jobs", 32, "total jobs to run")
@@ -73,6 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coresetload: -jobs, -c and -seeds must be > 0")
 		return 2
 	}
+	// Fail fast on -beta/-rounds with the one shared validator cmd/coreset
+	// and coresetd's job API also use — silently benchmarking something
+	// other than what the flags claim would mislabel every latency
+	// percentile this tool prints.
+	if err := service.ValidateTaskParams(*task, *beta, *rounds); err != nil {
+		fmt.Fprintln(stderr, "coresetload:", err)
+		return 2
+	}
 	if *target == "cluster" {
 		// Cluster cold-start (dials, worker first-touch) lands on the first
 		// wave of jobs; exclude one wave per client unless told otherwise.
@@ -80,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w < 0 {
 			w = *conc
 		}
-		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *jobs, *conc, *seeds, w, *timeout, stdout, stderr)
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *timeout, stdout, stderr)
 	}
 	if *target != "service" {
 		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
@@ -122,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				jr := service.CreateJobRequest{
 					Graph: info.ID, Task: *task, K: *k,
 					Seed: uint64(i % *seeds), Mode: *mode,
+					Beta: *beta, Rounds: *rounds,
 				}
 				t0 := time.Now()
 				err := lg.runJob(jr, *timeout)
@@ -169,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // replays through the in-process streaming runtime so the two latency
 // distributions print side by side. Concurrent clients exercise the workers'
 // many-runs-at-once path.
-func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, jobs, conc, seeds, warmup int, timeout time.Duration, stdout, stderr io.Writer) int {
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup int, timeout time.Duration, stdout, stderr io.Writer) int {
 	if clusterW == "" {
 		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
 		return 2
@@ -179,7 +197,7 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
-	if task != service.TaskMatching && task != service.TaskVC {
+	if task != service.TaskMatching && task != service.TaskVC && task != service.TaskEDCS {
 		fmt.Fprintf(stderr, "coresetload: unknown task %q\n", task)
 		return 2
 	}
@@ -191,6 +209,8 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 	fmt.Fprintf(stdout, "cluster: %d workers, %s n=%d, task %s, %d jobs x %d clients\n",
 		len(addrs), genName, n, task, jobs, conc)
 
+	p := edcs.ParamsForBeta(beta)
+	rcfg := rounds.Config{K: len(addrs), Rounds: roundCap, Seed: 0, Params: p}
 	runOne := func(mode string, seed uint64) (time.Duration, error) {
 		src, err := spec.Source()
 		if err != nil {
@@ -202,10 +222,22 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		switch {
 		case mode == "cluster" && task == "vc":
 			_, _, err = cluster.VertexCover(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
+		case mode == "cluster" && task == "edcs" && roundCap >= 1:
+			cfg := rcfg
+			cfg.Seed = seed
+			_, _, err = rounds.Cluster(ctx, src, cluster.Config{Workers: addrs, Seed: seed}, cfg)
+		case mode == "cluster" && task == "edcs":
+			_, _, err = cluster.EDCS(ctx, src, cluster.Config{Workers: addrs, Seed: seed}, p)
 		case mode == "cluster":
 			_, _, err = cluster.Matching(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
 		case task == "vc":
 			_, _, err = stream.VertexCoverContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
+		case task == "edcs" && roundCap >= 1:
+			cfg := rcfg
+			cfg.Seed = seed
+			_, _, err = rounds.Stream(ctx, src, cfg)
+		case task == "edcs":
+			_, _, err = stream.EDCSContext(ctx, src, stream.Config{K: len(addrs), Seed: seed}, p)
 		default:
 			_, _, err = stream.MatchingContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
 		}

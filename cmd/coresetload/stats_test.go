@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -73,5 +74,24 @@ func TestSummarizeWarmup(t *testing.T) {
 	}
 	if _, ok := summarize(nil, 0); ok {
 		t.Fatal("empty input summarized")
+	}
+}
+
+// TestRejectsUnusableBetaAndRounds: the load generator must fail fast on
+// -beta/-rounds misuse with the same message shape as cmd/coreset and
+// coresetd — a silently ignored flag would mislabel every latency
+// percentile the tool prints.
+func TestRejectsUnusableBetaAndRounds(t *testing.T) {
+	for name, args := range map[string][]string{
+		"beta-wrong-task":   {"-task", "matching", "-beta", "16"},
+		"beta-too-small":    {"-task", "edcs", "-beta", "1"},
+		"rounds-wrong-task": {"-task", "vc", "-rounds", "2"},
+		"rounds-too-large":  {"-task", "edcs", "-rounds", "100"},
+		"rounds-cluster":    {"-target", "cluster", "-cluster", "127.0.0.1:1", "-task", "matching", "-rounds", "2"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("%s: exited %d (stderr %q), want 2", name, code, errb.String())
+		}
 	}
 }

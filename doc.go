@@ -28,6 +28,9 @@
 //	           │   (typed frames, varint delta edge batches)         │ measured bytes
 //	service    │ resident daemon dispatching jobs to any of the above│ summaries reused
 //	           └──────────────── internal/core ──────────────────────┘
+//	rounds     │ any of the above, iterated (task edcs, -rounds N):  │ multi-round MPC
+//	           │   ┌────────────────────────────────────────┐        │ (O(log log n)
+//	           │   └─▶ shard → k× EDCS → union ─▶ k ← ⌊√k⌋ ──┘        │  rounds)
 //
 // The batch pipeline (internal/core) materializes the edge list, partitions
 // it with a single sequential RNG (partition.RandomK) and maps over the
@@ -79,6 +82,27 @@
 // communication) and BenchmarkEDCSVsMatchingCoreset (baseline in
 // BENCH_edcs.json) compares the per-machine summary costs.
 //
+// The same paper's O(log log n)-round MPC algorithms come from *iterating*
+// the sketch, and internal/rounds is that round-driver: round r shards its
+// input over k_r machines, builds one EDCS per machine, unions the coresets
+// (at most k·n·β/2 edges — a geometric shrink on dense inputs) and reshards
+// the union over k_{r+1} = ⌊√k_r⌋ machines with a fresh per-round seed,
+// until the configured cap or until the union stops shrinking; the final
+// matching is composed over the last (much smaller) union. Round 0 uses the
+// root seed, so a rounds=1 run reproduces the single-round EDCS pipeline
+// bit for bit, and the whole schedule is seed-parity-checked across batch,
+// stream and cluster. In cluster mode one reused session drives all rounds:
+// the worker connections are dialed once, a single HELLO carries the round
+// cap (task byte 4 on the same protocol version), each round is a
+// SHARD*/EOS/CORESET exchange with a fresh per-round EDCS machine, and
+// every round's communication is measured off the TCP connections into the
+// run report's per-round breakdown (graph.RunReport.RoundStats). The driver
+// is exposed as cmd/coreset -rounds N, the service job field "rounds"
+// (folded into the result-cache key), cmd/coresetload -rounds, experiment
+// E22 (rounds vs quality vs communication) and BenchmarkMultiRoundEDCS
+// (baseline in BENCH_rounds.json); examples/multiround_mpc walks the
+// per-round shrink end to end.
+//
 // Above both runtimes sits the service layer (internal/service, served by
 // cmd/coresetd): a long-running daemon that keeps graphs and their composed
 // results resident, which is how the paper frames randomized composable
@@ -92,7 +116,7 @@
 //	POST /v1/jobs ────▶│ Manager: bounded queue ─▶ worker pool ─▶ batch pipeline  │
 //	GET  /v1/jobs/{id} │          (cancel via context)         └▶ stream pipeline │
 //	                   │      │ publish on success                                │
-//	GET  /v1/stats ───▶│ Cache: (graph, task, k, seed, mode) → RunReport          │
+//	GET  /v1/stats ───▶│ Cache: (graph, task, k, seed, mode, beta, rounds)        │
 //	                   │        (LRU, hit/miss counters)                          │
 //	                   └──────────────────────────────────────────────────────────┘
 //

@@ -53,8 +53,9 @@ func TestSeedParityAcrossRuntimes(t *testing.T) {
 		deg  float64
 	}{
 		{"matching", 800, 8},
-		{"vc", 700, 40},   // high degree so VC peeling fires several levels
-		{"edcs", 600, 30}, // dense enough that the EDCS actually trims
+		{"vc", 700, 40},          // high degree so VC peeling fires several levels
+		{"edcs", 600, 30},        // dense enough that the EDCS actually trims
+		{"edcs-rounds", 600, 30}, // multi-round: reused connections, per-round parity
 	} {
 		for seed := uint64(1); seed <= 4; seed++ {
 			g := parityGraph(seed, tc.n, tc.deg)
@@ -124,6 +125,54 @@ func TestSeedParityAcrossRuntimes(t *testing.T) {
 					t.Fatalf("seed %d: cluster EDCS matching differs from stream", seed)
 				}
 				checkMeasuredBytes(t, cst, sst.TotalCommBytes)
+
+			case "edcs-rounds":
+				// Multi-round MPC: one session, one HELLO, two rounds over the
+				// same reused connections. Every round must deep-equal the
+				// in-process streaming oracle for the same (input, k, seed) —
+				// including round 1, whose input is round 0's union — and every
+				// round's bytes are measured.
+				sess, err := DialEDCSRounds(ctx, cfg, edcsP, 2, g.N)
+				if err != nil {
+					t.Fatalf("edcs-rounds seed %d: %v", seed, err)
+				}
+				input := g.Edges
+				for round, rk := range []int{k, 2} {
+					rseed := seed + uint64(round)*977
+					sums, rst, err := sess.Round(ctx, stream.NewSliceSource(g.N, input), rk, rseed)
+					if err != nil {
+						t.Fatalf("edcs-rounds seed %d round %d: %v", seed, round, err)
+					}
+					osums, ost, err := stream.EDCSSummaries(ctx, stream.NewSliceSource(g.N, input),
+						stream.Config{K: rk, Seed: rseed}, edcsP)
+					if err != nil {
+						t.Fatalf("edcs-rounds seed %d round %d oracle: %v", seed, round, err)
+					}
+					var union []graph.Edge
+					for i := range sums {
+						if !reflect.DeepEqual(sums[i].Coreset, osums[i].Coreset) {
+							t.Fatalf("seed %d round %d machine %d: session EDCS differs from stream", seed, round, i)
+						}
+						if sums[i].Edges != osums[i].Edges || sums[i].Stored != osums[i].Stored {
+							t.Fatalf("seed %d round %d machine %d: accounting differs (%d/%d vs %d/%d)",
+								seed, round, i, sums[i].Edges, sums[i].Stored, osums[i].Edges, osums[i].Stored)
+						}
+						union = append(union, sums[i].Coreset...)
+					}
+					checkMeasuredBytes(t, rst, ost.TotalCommBytes)
+					input = union
+				}
+				if sess.RoundsRun() != 2 {
+					t.Fatalf("seed %d: session ran %d rounds, want 2", seed, sess.RoundsRun())
+				}
+				// The cap is exhausted: a third round must be refused without
+				// touching the wire.
+				if _, _, err := sess.Round(ctx, stream.NewSliceSource(g.N, input), 1, seed); err == nil {
+					t.Fatalf("seed %d: round beyond the cap accepted", seed)
+				}
+				if err := sess.Close(); err != nil {
+					t.Fatalf("seed %d: close: %v", seed, err)
+				}
 
 			case "vc":
 				sums, _, err := run(ctx, src, cfg, taskVC, edcs.Params{})

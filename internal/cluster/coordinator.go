@@ -197,62 +197,11 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 				fail(fmt.Errorf("handshake: %w", err))
 				return
 			}
-			typ, payload, _, err := readFrame(conn)
-			if err != nil {
-				fail(fmt.Errorf("handshake: %w", err))
+			if err := readAck(conn); err != nil {
+				fail(err)
 				return
 			}
-			switch typ {
-			case frameAck:
-			case frameError:
-				fail(fmt.Errorf("remote: %s", payload))
-				return
-			default:
-				fail(fmt.Errorf("handshake: unexpected frame 0x%02x", typ))
-				return
-			}
-
-			var buf []byte
-			for batch := range chans[machine] {
-				buf = graph.AppendEdgeBatch(buf[:0], batch)
-				n, err := writeFrame(conn, frameShard, buf)
-				res.sent += n
-				if err != nil {
-					fail(fmt.Errorf("shard stream: %w", err))
-					return // the deferred drain consumes the rest
-				}
-			}
-			select {
-			case <-nReady:
-			case <-runCtx.Done():
-				res.err = runCtx.Err()
-				return
-			}
-			n, err = writeFrame(conn, frameEOS, binary.AppendUvarint(nil, uint64(nFinal)))
-			res.sent += n
-			if err != nil {
-				fail(fmt.Errorf("EOS: %w", err))
-				return
-			}
-
-			typ, payload, frameLen, err := readFrame(conn)
-			if err != nil {
-				fail(fmt.Errorf("awaiting CORESET: %w", err))
-				return
-			}
-			switch typ {
-			case frameCoreset:
-				sum, err := decodeSummary(task, payload)
-				if err != nil {
-					fail(err)
-					return
-				}
-				res.sum, res.wire = sum, frameLen
-			case frameError:
-				fail(fmt.Errorf("remote: %s", payload))
-			default:
-				fail(fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
-			}
+			roundTrip(runCtx, conn, task, chans[machine], nReady, &nFinal, &res, fail)
 		}(i)
 	}
 
@@ -267,58 +216,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 	// as they fill. Sends block on the machine's channel (and transitively on
 	// its TCP connection: per-worker backpressure) but never past
 	// cancellation.
-	bs := cfg.batchSize()
-	buf := make([]graph.Edge, bs)
-	pending := make([][]graph.Edge, k)
-	total, batches := 0, 0
-	var srcErr error // a real source error, never a cancellation
-	aborted := false
-	send := func(i int) bool {
-		select {
-		case chans[i] <- pending[i]:
-			pending[i] = nil
-			return true
-		case <-runCtx.Done():
-			return false
-		}
-	}
-shard:
-	for {
-		if runCtx.Err() != nil {
-			aborted = true
-			break
-		}
-		c, err := src.Next(buf)
-		if c > 0 {
-			total += c
-			batches++
-			for _, e := range buf[:c] {
-				i := partition.HashAssign(e, k, cfg.Seed)
-				if pending[i] == nil {
-					pending[i] = make([]graph.Edge, 0, bs)
-				}
-				pending[i] = append(pending[i], e)
-				if len(pending[i]) == bs && !send(i) {
-					aborted = true
-					break shard
-				}
-			}
-		}
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				srcErr = err
-			}
-			break
-		}
-	}
-	if srcErr == nil && !aborted {
-		for i, p := range pending {
-			if len(p) > 0 && !send(i) {
-				aborted = true
-				break
-			}
-		}
-	}
+	total, batches, srcErr, aborted := shardSource(runCtx, src, chans, cfg.batchSize(), cfg.Seed)
 	if srcErr != nil || aborted {
 		cancelRun() // release goroutines parked on nReady or blocked I/O
 		closeAll()
@@ -384,14 +282,155 @@ shard:
 	return sums, st, nil
 }
 
+// readAck consumes the worker's handshake reply: an ACK, or the ERROR frame
+// it substituted.
+func readAck(conn net.Conn) error {
+	typ, payload, _, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	switch typ {
+	case frameAck:
+		return nil
+	case frameError:
+		return fmt.Errorf("remote: %s", payload)
+	default:
+		return fmt.Errorf("handshake: unexpected frame 0x%02x", typ)
+	}
+}
+
+// roundTrip speaks the post-handshake frames of one run — or one round of a
+// multi-round session — on an open connection: SHARD frames off the batch
+// channel (with TCP backpressure), EOS once the sharder publishes the final
+// vertex count through the nReady edge, then the CORESET reply. The decoded
+// summary and the measured byte counts land in res; failures go through
+// fail, which wraps them as *WorkerError and records causal order. On a
+// shard-stream failure the caller's deferred drain consumes the remaining
+// batches.
+func roundTrip(runCtx context.Context, conn net.Conn, task byte, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(error)) {
+	var buf []byte
+	for batch := range batches {
+		buf = graph.AppendEdgeBatch(buf[:0], batch)
+		n, err := writeFrame(conn, frameShard, buf)
+		res.sent += n
+		if err != nil {
+			fail(fmt.Errorf("shard stream: %w", err))
+			return
+		}
+	}
+	select {
+	case <-nReady:
+	case <-runCtx.Done():
+		res.err = runCtx.Err()
+		return
+	}
+	n, err := writeFrame(conn, frameEOS, binary.AppendUvarint(nil, uint64(*nFinal)))
+	res.sent += n
+	if err != nil {
+		fail(fmt.Errorf("EOS: %w", err))
+		return
+	}
+
+	typ, payload, frameLen, err := readFrame(conn)
+	if err != nil {
+		fail(fmt.Errorf("awaiting CORESET: %w", err))
+		return
+	}
+	switch typ {
+	case frameCoreset:
+		sum, err := decodeSummary(task, payload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		res.sum, res.wire = sum, frameLen
+	case frameError:
+		fail(fmt.Errorf("remote: %s", payload))
+	default:
+		fail(fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
+	}
+}
+
+// shardSource reads src to exhaustion and routes every edge to the
+// per-machine channels with partition.HashAssign(e, len(chans), seed),
+// flushing mini-batches of bs edges as they fill. Sends block on a
+// machine's channel but never past cancellation. Returns the edge and batch
+// totals, a real source error (never a cancellation), and whether the loop
+// aborted on runCtx. The caller owns closing the channels.
+func shardSource(runCtx context.Context, src stream.EdgeSource, chans []chan []graph.Edge, bs int, seed uint64) (total, batches int, srcErr error, aborted bool) {
+	k := len(chans)
+	buf := make([]graph.Edge, bs)
+	pending := make([][]graph.Edge, k)
+	send := func(i int) bool {
+		select {
+		case chans[i] <- pending[i]:
+			pending[i] = nil
+			return true
+		case <-runCtx.Done():
+			return false
+		}
+	}
+shard:
+	for {
+		if runCtx.Err() != nil {
+			aborted = true
+			break
+		}
+		c, err := src.Next(buf)
+		if c > 0 {
+			total += c
+			batches++
+			for _, e := range buf[:c] {
+				i := partition.HashAssign(e, k, seed)
+				if pending[i] == nil {
+					pending[i] = make([]graph.Edge, 0, bs)
+				}
+				pending[i] = append(pending[i], e)
+				if len(pending[i]) == bs && !send(i) {
+					aborted = true
+					break shard
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				srcErr = err
+			}
+			break
+		}
+	}
+	if srcErr == nil && !aborted {
+		for i, p := range pending {
+			if len(p) > 0 && !send(i) {
+				aborted = true
+				break
+			}
+		}
+	}
+	return total, batches, srcErr, aborted
+}
+
 // closeOnCancel force-closes conn when ctx is canceled; the returned stop
 // function ends the watch (idempotently) once the connection is done.
+//
+// The done recheck inside the cancellation case matters for connections
+// that outlive the watch (EDCSSession reuses its connections across
+// rounds): on a successful round, stop() runs strictly before the round's
+// deferred cancel, but a watcher that first wakes with BOTH channels ready
+// would pick a select case at random — and must not close a connection the
+// next round is about to use.
 func closeOnCancel(ctx context.Context, conn net.Conn) (stop func()) {
 	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
-			conn.Close()
+			select {
+			case <-done:
+				// The conversation finished before the cancellation; leave
+				// the connection alone.
+			default:
+				conn.Close()
+			}
 		case <-done:
 		}
 	}()

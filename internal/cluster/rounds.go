@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/edcs"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// EDCSSession is one multi-round EDCS run over a worker fleet (the MPC
+// algorithm of arXiv:1711.03076, driven by internal/rounds). The session
+// dials every worker once and speaks a single HELLO per connection — task
+// taskEDCSRounds, carrying the degree constraints and the round cap — and
+// then the connections are REUSED across rounds: each Round call shards its
+// input over the first k workers, collects one CORESET frame per active
+// machine, and leaves the connections open for the next round. Workers
+// dropped by the shrinking schedule (k decreases between rounds) simply see
+// no frames until Close ends the run at a round boundary.
+//
+// Communication is measured per round off the live connections, exactly as
+// in a single-round run: each Round's Stats carries the measured CORESET
+// frame bytes (TotalCommBytes/MaxMachineBytes), the simulated estimate
+// (EstCommBytes/EstMaxMachineBytes) and the coordinator-to-worker shard
+// traffic (ShardBytes; the first round additionally absorbs the HELLO
+// frames, so summing rounds accounts for every coordinator-to-worker byte
+// of the run — workers' ACK frames are not counted, matching the
+// single-round runtime's accounting).
+//
+// A session is single-flight: Round may not be called concurrently. Any
+// round error (worker failure, source error, cancellation) force-closes the
+// connections and poisons the session; Close is the only valid call after
+// that.
+type EDCSSession struct {
+	cfg        Config
+	k          int // fleet size = round-0 machine count
+	roundCap   int
+	roundsRun  int
+	helloBytes int // HELLO traffic, folded into the first round's ShardBytes
+	conns      []net.Conn
+	broken     bool
+	closed     bool
+}
+
+// DialEDCSRounds opens a multi-round EDCS session against cfg's worker
+// fleet: one connection and one HELLO per worker, all handshakes completed
+// before it returns. roundCap is the most rounds the session may run (the
+// worker pins it; the driver's early exit may stop sooner). nHint > 0
+// declares the vertex count upfront — for EDCS machines it only pre-sizes
+// tables and never changes the result. On any dial or handshake failure the
+// already-opened connections are closed and a *WorkerError names the
+// machine that failed.
+func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nHint int) (*EDCSSession, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(cfg.Workers)
+	if k == 0 {
+		return nil, errors.New("cluster: config needs at least one worker address")
+	}
+	if roundCap < 1 || roundCap > maxWireRounds {
+		return nil, fmt.Errorf("cluster: round cap %d outside [1, %d]", roundCap, maxWireRounds)
+	}
+	s := &EDCSSession{cfg: cfg, k: k, roundCap: roundCap, conns: make([]net.Conn, k)}
+	dialer := &net.Dialer{Timeout: cfg.dialTimeout()}
+
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, k)
+		sent = make([]int, k)
+	)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(machine int) {
+			defer wg.Done()
+			addr := cfg.Workers[machine]
+			fail := func(err error) {
+				errs[machine] = &WorkerError{Machine: machine, Addr: addr, Err: err}
+			}
+			conn, err := dialer.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			s.conns[machine] = conn
+			stopWatch := closeOnCancel(ctx, conn)
+			defer stopWatch()
+			h := hello{
+				version: protocolVersion, task: taskEDCSRounds,
+				machine: machine, k: k, known: nHint > 0, n: nHint,
+				edcs: p, rounds: roundCap,
+			}
+			n, err := writeFrame(conn, frameHello, encodeHello(h))
+			sent[machine] = n
+			if err != nil {
+				fail(fmt.Errorf("handshake: %w", err))
+				return
+			}
+			if err := readAck(conn); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+	}
+	for _, n := range sent {
+		s.helloBytes += n
+	}
+	return s, nil
+}
+
+// Fleet returns the number of workers the session dialed (the maximum k a
+// round may use).
+func (s *EDCSSession) Fleet() int { return s.k }
+
+// Round runs one round over the first k workers: shard src's edges with
+// partition.HashAssign(e, k, seed) — the same seeded routing every runtime
+// uses, so the round reproduces an in-process round bit for bit — then
+// collect each active machine's EDCS coreset. The returned summaries are
+// indexed by machine; the Stats are this round's alone, with measured wire
+// bytes. Errors follow run()'s precedence (caller cancellation, source
+// error, causally-first worker failure) and poison the session.
+func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, seed uint64) ([]stream.Summary, *Stats, error) {
+	if s.closed || s.broken {
+		return nil, nil, errors.New("cluster: EDCS session is no longer usable")
+	}
+	if src == nil {
+		return nil, nil, errors.New("cluster: nil source")
+	}
+	if k < 1 || k > s.k {
+		return nil, nil, fmt.Errorf("cluster: round k %d outside [1, %d]", k, s.k)
+	}
+	if s.roundsRun >= s.roundCap {
+		return nil, nil, fmt.Errorf("cluster: round cap %d exhausted", s.roundCap)
+	}
+	start := time.Now()
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	var (
+		nFinal  int
+		nReady  = make(chan struct{})
+		results = make(chan workerResult, k)
+		wg      sync.WaitGroup
+	)
+	var (
+		failMu  sync.Mutex
+		rootErr error
+	)
+	noteFailure := func(err error) {
+		failMu.Lock()
+		if rootErr == nil {
+			rootErr = err
+		}
+		failMu.Unlock()
+	}
+
+	// Per-machine goroutines: identical to run()'s post-handshake path, on
+	// the session's live connections.
+	chans := make([]chan []graph.Edge, k)
+	for i := 0; i < k; i++ {
+		chans[i] = make(chan []graph.Edge, 4)
+		wg.Add(1)
+		go func(machine int) {
+			defer wg.Done()
+			res := workerResult{machine: machine}
+			defer func() {
+				if res.err != nil {
+					// Stop the sharder, then discard whatever it already
+					// queued for this machine (the sharder owns the close, so
+					// the drain terminates).
+					cancelRun()
+					for range chans[machine] {
+					}
+				}
+				results <- res
+			}()
+			conn := s.conns[machine]
+			fail := func(err error) {
+				we := &WorkerError{Machine: machine, Addr: s.cfg.Workers[machine], Err: err}
+				res.err = we
+				noteFailure(we)
+			}
+			stopWatch := closeOnCancel(runCtx, conn)
+			defer stopWatch()
+			roundTrip(runCtx, conn, taskEDCSRounds, chans[machine], nReady, &nFinal, &res, fail)
+		}(i)
+	}
+
+	closeAll := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	total, batches, srcErr, aborted := shardSource(runCtx, src, chans, s.cfg.batchSize(), seed)
+	if srcErr != nil || aborted {
+		cancelRun() // release goroutines parked on nReady or blocked I/O
+		closeAll()
+	} else {
+		closeAll()
+		nFinal = src.NumVertices()
+		close(nReady)
+	}
+	wg.Wait()
+	close(results)
+
+	byMachine := make([]workerResult, k)
+	for r := range results {
+		byMachine[r.machine] = r
+	}
+	// Error precedence mirrors run(); every error path leaves connections
+	// force-closed or mid-frame, so the session is done for.
+	failSession := func(err error) ([]stream.Summary, *Stats, error) {
+		s.broken = true
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return failSession(err)
+	}
+	if srcErr != nil {
+		return failSession(srcErr)
+	}
+	if rootErr != nil {
+		return failSession(rootErr)
+	}
+	for _, r := range byMachine {
+		if r.err != nil {
+			return failSession(r.err)
+		}
+	}
+	if aborted { // canceled with no surviving cause: report it as such
+		return failSession(context.Canceled)
+	}
+
+	sums := make([]stream.Summary, k)
+	st := &Stats{
+		K:           k,
+		N:           nFinal,
+		EdgesTotal:  total,
+		Batches:     batches,
+		PartEdges:   make([]int, k),
+		StoredEdges: make([]int, k),
+		Live:        make([]int, k),
+	}
+	if s.roundsRun == 0 {
+		st.ShardBytes += s.helloBytes
+	}
+	for _, r := range byMachine {
+		sums[r.machine] = r.sum
+		st.PartEdges[r.machine] = r.sum.Edges
+		st.StoredEdges[r.machine] = r.sum.Stored
+		st.Live[r.machine] = r.sum.Live
+		st.CoresetEdges = append(st.CoresetEdges, len(r.sum.Coreset))
+		st.CompositionEdges += len(r.sum.Coreset)
+		st.TotalCommBytes += r.wire
+		if r.wire > st.MaxMachineBytes {
+			st.MaxMachineBytes = r.wire
+		}
+		st.EstCommBytes += r.sum.Bytes
+		if r.sum.Bytes > st.EstMaxMachineBytes {
+			st.EstMaxMachineBytes = r.sum.Bytes
+		}
+		st.ShardBytes += r.sent
+	}
+	s.roundsRun++
+	st.Duration = time.Since(start)
+	return sums, st, nil
+}
+
+// RoundsRun returns how many rounds the session has completed.
+func (s *EDCSSession) RoundsRun() int { return s.roundsRun }
+
+// Close ends the run: the connections are closed, which workers waiting at
+// a round boundary treat as a clean end. Safe to call multiple times.
+func (s *EDCSSession) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, c := range s.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -24,6 +24,11 @@ import (
 //	coordinator -> worker   EOS        final vertex count
 //	worker -> coordinator   CORESET    per-machine stats + coreset message
 //
+// A multi-round assignment (task taskEDCSRounds) repeats the
+// SHARD*/EOS/CORESET round on the same connection up to the HELLO's round
+// cap — one HELLO per run, not per round — and ends when the coordinator
+// closes the connection at a round boundary.
+//
 // Either side may substitute ERROR (UTF-8 message) for its next frame and
 // close. Edge batches and coreset bodies use graph.AppendEdgeBatch — the
 // same codec the simulated accounting charges — so a measured CORESET
@@ -45,11 +50,19 @@ const (
 
 // Task bytes carried in HELLO. taskEDCS extends the HELLO payload with the
 // two EDCS degree constraints; peers that predate it reject the unknown
-// task byte, so no protocol version bump is needed.
+// task byte, so no protocol version bump is needed. taskEDCSRounds is the
+// multi-round MPC assignment (internal/rounds): the HELLO additionally
+// carries the round cap, and the connection then speaks up to that many
+// rounds — each a SHARD*/EOS sequence answered by one CORESET, with a fresh
+// EDCS per round — instead of exactly one. The coordinator ends the run
+// early by closing the connection at a round boundary, which the worker
+// treats as a clean end (the early exit fires when the union stops
+// shrinking, so the worker cannot know the final round count upfront).
 const (
-	taskMatching byte = 1
-	taskVC       byte = 2
-	taskEDCS     byte = 3
+	taskMatching   byte = 1
+	taskVC         byte = 2
+	taskEDCS       byte = 3
+	taskEDCSRounds byte = 4
 )
 
 // maxFramePayload bounds a single frame so a corrupt or hostile peer cannot
@@ -65,6 +78,12 @@ const maxVertices = 1 << 28
 
 // maxK bounds the machine count in HELLO; far above any deployment here.
 const maxK = 1 << 20
+
+// maxWireRounds bounds the round cap a worker accepts in a taskEDCSRounds
+// HELLO. The paper's schedule needs O(log log n) rounds, so anything near
+// this cap is already nonsense; it exists so a corrupt frame cannot promise
+// an absurd run length.
+const maxWireRounds = 1 << 10
 
 const frameHeaderLen = 5
 
@@ -113,7 +132,8 @@ type hello struct {
 	k       int
 	known   bool // vertex count declared upfront (enables online peeling)
 	n       int
-	edcs    edcs.Params // taskEDCS only
+	edcs    edcs.Params // taskEDCS and taskEDCSRounds
+	rounds  int         // taskEDCSRounds only: round cap for this run (>= 1)
 }
 
 func encodeHello(h hello) []byte {
@@ -124,9 +144,12 @@ func encodeHello(h hello) []byte {
 	buf = binary.AppendUvarint(buf, uint64(h.machine))
 	buf = binary.AppendUvarint(buf, uint64(h.k))
 	buf = binary.AppendUvarint(buf, uint64(h.n))
-	if h.task == taskEDCS {
+	if h.task == taskEDCS || h.task == taskEDCSRounds {
 		buf = binary.AppendUvarint(buf, uint64(h.edcs.Beta))
 		buf = binary.AppendUvarint(buf, uint64(h.edcs.BetaMinus))
+	}
+	if h.task == taskEDCSRounds {
+		buf = binary.AppendUvarint(buf, uint64(h.rounds))
 	}
 	return buf
 }
@@ -160,7 +183,7 @@ func decodeHello(data []byte) (hello, error) {
 	}
 	switch h.task {
 	case taskMatching, taskVC:
-	case taskEDCS:
+	case taskEDCS, taskEDCSRounds:
 		beta, err := uvarint()
 		if err != nil {
 			return h, err
@@ -175,6 +198,16 @@ func decodeHello(data []byte) (hello, error) {
 		h.edcs = edcs.Params{Beta: int(beta), BetaMinus: int(betaMinus)}
 		if err := h.edcs.Validate(); err != nil {
 			return h, err
+		}
+		if h.task == taskEDCSRounds {
+			rounds, err := uvarint()
+			if err != nil {
+				return h, err
+			}
+			if rounds < 1 || rounds > maxWireRounds {
+				return h, fmt.Errorf("cluster: round cap %d outside [1, %d]", rounds, maxWireRounds)
+			}
+			h.rounds = int(rounds)
 		}
 	default:
 		return h, fmt.Errorf("cluster: unknown task 0x%02x", h.task)

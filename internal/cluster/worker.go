@@ -31,7 +31,7 @@ type Worker struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	served atomic.Int64 // runs answered with a CORESET frame
+	served atomic.Int64 // CORESET frames answered (runs, or rounds of multi-round runs)
 }
 
 // NewWorker returns a worker logging to logger (nil: discard).
@@ -90,7 +90,8 @@ func (w *Worker) Serve(ln net.Listener) error {
 	}
 }
 
-// Served returns how many runs this worker has answered.
+// Served returns how many CORESET frames this worker has answered — one per
+// single-round run, one per completed round of a multi-round assignment.
 func (w *Worker) Served() int64 { return w.served.Load() }
 
 // Active returns the number of in-flight run-assignment connections.
@@ -165,6 +166,12 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 	if h.known {
 		nHint = h.n
 	}
+	if _, err := writeFrame(conn, frameAck, []byte{protocolVersion}); err != nil {
+		return fmt.Errorf("writing ACK: %w", err)
+	}
+	if h.task == taskEDCSRounds {
+		return w.serveRounds(conn, h, nHint)
+	}
 	var m *stream.Machine
 	switch h.task {
 	case taskMatching:
@@ -174,42 +181,94 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 	default: // taskVC, validated by decodeHello
 		m = stream.NewVCMachine(h.k, nHint)
 	}
-	if _, err := writeFrame(conn, frameAck, []byte{protocolVersion}); err != nil {
-		return fmt.Errorf("writing ACK: %w", err)
-	}
 
 	for {
 		typ, payload, _, err := readFrame(conn)
 		if err != nil {
 			return fmt.Errorf("machine %d: reading frame: %w", h.machine, err)
 		}
-		switch typ {
-		case frameShard:
-			edges, rest, err := graph.DecodeEdgeBatch(payload)
-			if err != nil {
-				return fail(err)
-			}
-			if len(rest) != 0 {
-				return fail(fmt.Errorf("cluster: %d trailing bytes in SHARD", len(rest)))
-			}
-			for _, e := range edges {
-				m.Add(e)
-			}
-		case frameEOS:
-			n, k := binary.Uvarint(payload)
-			if k <= 0 || n > maxVertices {
-				// Finish allocates O(n) state; an unvalidated count is the
-				// one allocation maxFramePayload cannot bound.
-				return fail(errors.New("cluster: corrupt EOS"))
-			}
-			sum := m.Finish(int(n))
-			if _, err := writeFrame(conn, frameCoreset, appendSummary(nil, h.task, sum)); err != nil {
-				return fmt.Errorf("machine %d: writing CORESET: %w", h.machine, err)
-			}
-			w.served.Add(1)
-			return nil
-		default:
-			return fail(fmt.Errorf("cluster: unexpected frame 0x%02x mid-shard", typ))
+		done, err := w.consumeFrame(conn, h, m, 0, typ, payload)
+		if err != nil || done {
+			return err
 		}
 	}
+}
+
+// consumeFrame handles one mid-run frame for the given machine: SHARD feeds
+// the builder, EOS finishes it and answers with the CORESET frame (done =
+// true). Shared by the single-round loop and the multi-round loop, so the
+// two paths cannot drift on decoding or validation.
+func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round int, typ byte, payload []byte) (done bool, err error) {
+	fail := func(err error) error {
+		_, _ = writeFrame(conn, frameError, []byte(err.Error()))
+		return err
+	}
+	switch typ {
+	case frameShard:
+		edges, rest, err := graph.DecodeEdgeBatch(payload)
+		if err != nil {
+			return false, fail(err)
+		}
+		if len(rest) != 0 {
+			return false, fail(fmt.Errorf("cluster: %d trailing bytes in SHARD", len(rest)))
+		}
+		for _, e := range edges {
+			m.Add(e)
+		}
+		return false, nil
+	case frameEOS:
+		n, k := binary.Uvarint(payload)
+		if k <= 0 || n > maxVertices {
+			// Finish allocates O(n) state; an unvalidated count is the
+			// one allocation maxFramePayload cannot bound.
+			return false, fail(errors.New("cluster: corrupt EOS"))
+		}
+		sum := m.Finish(int(n))
+		if _, err := writeFrame(conn, frameCoreset, appendSummary(nil, h.task, sum)); err != nil {
+			return false, fmt.Errorf("machine %d round %d: writing CORESET: %w", h.machine, round, err)
+		}
+		w.served.Add(1)
+		return true, nil
+	default:
+		return false, fail(fmt.Errorf("cluster: unexpected frame 0x%02x mid-shard", typ))
+	}
+}
+
+// serveRounds speaks a multi-round EDCS assignment (internal/rounds): up to
+// h.rounds rounds of SHARD*/EOS on this one connection, each answered by one
+// CORESET, with a FRESH machine per round — round r's input is a different
+// graph (the union of round r-1's coresets across all machines), so nothing
+// may carry over. The coordinator cannot know the final round count upfront
+// (its early exit fires when the union stops shrinking) and may also drop
+// this machine from later rounds (the schedule shrinks k), so it ends the
+// assignment by closing the connection at a round boundary; a read error
+// before any frame of a new round is therefore a clean end of run, while one
+// mid-round is a real abort.
+func (w *Worker) serveRounds(conn net.Conn, h hello, nHint int) error {
+	for round := 0; round < h.rounds; round++ {
+		m := stream.NewEDCSMachine(nHint, h.edcs)
+		inRound := false
+		for {
+			typ, payload, _, err := readFrame(conn)
+			if err != nil {
+				// Only an orderly close (clean EOF before any frame of a new
+				// round) is the documented end-of-run signal; resets,
+				// timeouts and mid-header EOFs are real aborts and must be
+				// surfaced, exactly as the single-round path surfaces them.
+				if !inRound && round > 0 && errors.Is(err, io.EOF) {
+					return nil
+				}
+				return fmt.Errorf("machine %d round %d: reading frame: %w", h.machine, round, err)
+			}
+			inRound = true
+			done, err := w.consumeFrame(conn, h, m, round, typ, payload)
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+	}
+	return nil
 }

@@ -26,7 +26,10 @@
 // Φ(H) = (β − 1/2)·Σ_v deg_H(v) − Σ_{(u,v)∈H} (deg_H(u) + deg_H(v)),
 // which is bounded — and violations are located and fixed in a fixed
 // deterministic order, so the resulting H is a pure function of the arrival
-// sequence. All four
+// sequence. Insertion applies edge hygiene first: self-loops (useless to a
+// matching, and a +2 skew on one endpoint's degree) and parallel duplicates
+// (two indices that could both enter H) are dropped before they can touch
+// the degree tables. All four
 // runtimes (batch, stream, cluster, service) feed a machine's partition in
 // the same order, which is what makes EDCS coresets bit-for-bit identical
 // across them (see TestSeedParityAcrossRuntimes in internal/cluster).
@@ -88,11 +91,12 @@ func ParamsForBeta(beta int) Params {
 // is not usable; construct with New.
 type Subgraph struct {
 	p     Params
-	edges []graph.Edge // all inserted edges, arrival order
-	inH   []bool       // edges[i] ∈ H
-	deg   []int32      // H-degree per vertex
-	adj   [][]int32    // stored-edge indices incident to each vertex
-	size  int          // |H|
+	edges []graph.Edge            // stored edges, arrival order (loops and duplicates dropped)
+	inH   []bool                  // edges[i] ∈ H
+	deg   []int32                 // H-degree per vertex
+	adj   [][]int32               // stored-edge indices incident to each vertex
+	size  int                     // |H|
+	seen  map[graph.Edge]struct{} // canonical endpoints of stored edges (dedup)
 
 	dirty    []graph.ID // vertices whose H-degree changed since last repair
 	isDirty  []bool
@@ -114,6 +118,7 @@ func New(nHint int, p Params) *Subgraph {
 		deg:     make([]int32, nHint),
 		adj:     make([][]int32, nHint),
 		isDirty: make([]bool, nHint),
+		seen:    make(map[graph.Edge]struct{}),
 	}
 }
 
@@ -126,17 +131,35 @@ func (s *Subgraph) grow(v graph.ID) {
 }
 
 // Insert feeds one edge in arrival order and restores both invariants
-// before returning.
+// before returning. Two kinds of arrivals are dropped at the door, before
+// they can touch any degree table:
+//
+//   - Self-loops: a matching can never use one, and admitting it would add
+//     2 to a single endpoint's H-degree, skewing every P1/P2 sum that
+//     vertex participates in.
+//   - Parallel duplicates of an already-stored edge (either orientation):
+//     two copies would get distinct indices and could both enter H,
+//     inflating H-degrees and the coreset byte charge. This matters most to
+//     the multi-round driver (internal/rounds), whose round-r unions can
+//     re-feed edges the EDCS has already seen.
+//
+// Dropped arrivals do not count toward Stored.
 func (s *Subgraph) Insert(e graph.Edge) {
+	if e.U == e.V {
+		return
+	}
+	c := e.Canon()
+	if _, dup := s.seen[c]; dup {
+		return
+	}
+	s.seen[c] = struct{}{}
 	s.grow(e.U)
 	s.grow(e.V)
 	idx := int32(len(s.edges))
 	s.edges = append(s.edges, e)
 	s.inH = append(s.inH, false)
 	s.adj[e.U] = append(s.adj[e.U], idx)
-	if e.V != e.U {
-		s.adj[e.V] = append(s.adj[e.V], idx)
-	}
+	s.adj[e.V] = append(s.adj[e.V], idx)
 	// P2: a new edge left out of H must already see β⁻ worth of H-degree.
 	if int(s.deg[e.U]+s.deg[e.V]) < s.p.BetaMinus {
 		s.addH(idx)
@@ -197,8 +220,10 @@ func (s *Subgraph) repair() {
 // Size returns |H|, the current EDCS edge count.
 func (s *Subgraph) Size() int { return s.size }
 
-// Stored returns how many edges have been inserted (the machine's whole
-// partition; the O(m/k) space the model grants each machine).
+// Stored returns how many edges the subgraph holds — the machine's
+// partition after edge hygiene (self-loops and parallel duplicates are
+// dropped at Insert and never stored), within the O(m/k) space the model
+// grants each machine.
 func (s *Subgraph) Stored() int { return len(s.edges) }
 
 // Removals returns the lifetime count of repair removals — how often an
@@ -220,16 +245,40 @@ func (s *Subgraph) Edges() []graph.Edge {
 	return out
 }
 
-// CheckInvariants verifies P1 and P2 over every inserted edge; tests use it
-// as the ground-truth oracle for the repair logic.
+// CheckInvariants verifies P1 and P2 over every stored edge, that the
+// store obeys edge hygiene (no self-loops, no parallel duplicates — both
+// classes of arrival Insert must drop), and that the incremental H-degree
+// table matches a from-scratch recount of H. Tests use it as the
+// ground-truth oracle for the insertion and repair logic: the degree
+// recount is what catches bookkeeping skew (e.g. a self-loop charging +2
+// to one endpoint) even when P1/P2 happen to hold on the skewed sums.
 func (s *Subgraph) CheckInvariants() error {
+	seen := make(map[graph.Edge]struct{}, len(s.edges))
+	recount := make([]int32, len(s.deg))
 	for j, e := range s.edges {
+		if e.U == e.V {
+			return fmt.Errorf("edcs: self-loop %v stored at index %d", e, j)
+		}
+		c := e.Canon()
+		if _, dup := seen[c]; dup {
+			return fmt.Errorf("edcs: duplicate edge %v stored at index %d", e, j)
+		}
+		seen[c] = struct{}{}
+		if s.inH[j] {
+			recount[e.U]++
+			recount[e.V]++
+		}
 		sum := int(s.deg[e.U] + s.deg[e.V])
 		if s.inH[j] && sum > s.p.Beta {
 			return fmt.Errorf("edcs: P1 violated at edge %d=%v (deg sum %d > beta %d)", j, e, sum, s.p.Beta)
 		}
 		if !s.inH[j] && sum < s.p.BetaMinus {
 			return fmt.Errorf("edcs: P2 violated at edge %d=%v (deg sum %d < betaMinus %d)", j, e, sum, s.p.BetaMinus)
+		}
+	}
+	for v, d := range recount {
+		if d != s.deg[v] {
+			return fmt.Errorf("edcs: H-degree of vertex %d is tracked as %d but recounts to %d", v, s.deg[v], d)
 		}
 	}
 	return nil

@@ -196,6 +196,114 @@ func TestRemovalsTelemetry(t *testing.T) {
 	}
 }
 
+// TestSelfLoopsDropped: a self-loop can never be used by a matching, and
+// pre-fix it double-counted one endpoint's H-degree (addH incremented
+// deg[e.U] and deg[e.V] even when they were the same vertex), skewing every
+// P1/P2 sum that vertex participates in. Loops must be dropped at Insert:
+// they never enter the store, never move a degree, and a build with loops
+// interleaved is identical to the loop-free build.
+func TestSelfLoopsDropped(t *testing.T) {
+	p := ParamsForBeta(8)
+	s := New(4, p)
+	s.Insert(graph.Edge{U: 2, V: 2})
+	if s.Size() != 0 || s.Stored() != 0 {
+		t.Fatalf("self-loop entered the subgraph: |H|=%d stored=%d", s.Size(), s.Stored())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A star centered on vertex 0, with self-loops on the center interleaved
+	// between every real arrival: the loop-free build is the oracle. Pre-fix,
+	// each loop added 2 to deg[0] and P2 stopped forcing later star edges
+	// into H, so the coresets diverged.
+	const n = 20
+	loopy, clean := New(n, p), New(n, p)
+	for v := graph.ID(1); v < n; v++ {
+		loopy.Insert(graph.Edge{U: 0, V: 0})
+		loopy.Insert(graph.Edge{U: 0, V: v})
+		clean.Insert(graph.Edge{U: 0, V: v})
+	}
+	if err := loopy.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loopy.Edges(), clean.Edges()) {
+		t.Fatalf("self-loops changed the coreset: %v vs %v", loopy.Edges(), clean.Edges())
+	}
+}
+
+// TestDuplicateEdgesDropped: pre-fix, parallel copies of an edge got
+// distinct indices and could all enter H, inflating both endpoints'
+// H-degrees and the coreset byte charge. Duplicates (in either orientation)
+// must be dropped at Insert — which the multi-round driver depends on, since
+// round-r unions can re-feed edges.
+func TestDuplicateEdgesDropped(t *testing.T) {
+	p := ParamsForBeta(8) // β⁻ = 6 admits several parallel copies pre-fix
+	s := New(2, p)
+	for i := 0; i < 3; i++ {
+		s.Insert(graph.Edge{U: 0, V: 1})
+		s.Insert(graph.Edge{U: 1, V: 0}) // reversed orientation, same edge
+	}
+	if s.Size() != 1 || s.Stored() != 1 {
+		t.Fatalf("duplicates entered the subgraph: |H|=%d stored=%d", s.Size(), s.Stored())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.Edges(); len(cs) != 1 || cs[0] != (graph.Edge{U: 0, V: 1}) {
+		t.Fatalf("coreset = %v, want the single canonical edge", cs)
+	}
+
+	// Replaying a whole graph twice must be a no-op — exactly the multi-round
+	// situation where a union is re-fed into a fresh build mid-stream.
+	g := gen.GNP(200, 0.2, rng.New(3))
+	once, twice := New(g.N, p), New(g.N, p)
+	for _, e := range g.Edges {
+		once.Insert(e)
+		twice.Insert(e)
+	}
+	for _, e := range g.Edges {
+		twice.Insert(e)
+	}
+	if err := twice.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(once.Edges(), twice.Edges()) {
+		t.Fatal("replaying the edge list changed the coreset")
+	}
+}
+
+// TestCheckInvariantsCatchesHygieneViolations: the oracle must reject a
+// store containing a self-loop or a duplicate, and a tracked degree table
+// that disagrees with a recount of H — the three symptoms the Insert
+// hygiene exists to prevent.
+func TestCheckInvariantsCatchesHygieneViolations(t *testing.T) {
+	p := ParamsForBeta(8)
+	corrupt := func(mutate func(s *Subgraph)) error {
+		s := New(4, p)
+		s.Insert(graph.Edge{U: 0, V: 1})
+		mutate(s)
+		return s.CheckInvariants()
+	}
+	if err := corrupt(func(s *Subgraph) {
+		s.edges = append(s.edges, graph.Edge{U: 2, V: 2})
+		s.inH = append(s.inH, false)
+	}); err == nil {
+		t.Fatal("stored self-loop passed CheckInvariants")
+	}
+	if err := corrupt(func(s *Subgraph) {
+		s.edges = append(s.edges, graph.Edge{U: 1, V: 0})
+		s.inH = append(s.inH, false)
+	}); err == nil {
+		t.Fatal("stored duplicate passed CheckInvariants")
+	}
+	if err := corrupt(func(s *Subgraph) {
+		s.deg[3] = 2 // skewed bookkeeping, the pre-fix self-loop symptom
+	}); err == nil {
+		t.Fatal("skewed H-degree table passed CheckInvariants")
+	}
+}
+
 // TestGrowWithoutHint: inserting past the size hint must grow the tables
 // instead of panicking (headerless sources discover n late).
 func TestGrowWithoutHint(t *testing.T) {

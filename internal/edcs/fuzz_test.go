@@ -1,0 +1,63 @@
+package edcs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// decodeArrivals turns fuzz bytes into an edge arrival sequence over a small
+// vertex universe. Consecutive byte pairs become endpoints, so the corpus
+// naturally contains self-loops (equal bytes) and parallel duplicates
+// (repeated pairs, both orientations) — exactly the arrivals the insertion
+// hygiene must absorb.
+func decodeArrivals(data []byte) []graph.Edge {
+	edges := make([]graph.Edge, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		edges = append(edges, graph.Edge{U: graph.ID(data[i] % 64), V: graph.ID(data[i+1] % 64)})
+	}
+	return edges
+}
+
+// FuzzEDCSInsert feeds arbitrary arrival sequences — self-loops, duplicates,
+// any orientation — through Insert and checks the three properties every
+// runtime leans on: insertion terminates, the invariant oracle
+// (CheckInvariants: P1/P2, edge hygiene, degree recount) passes, and the
+// coreset is a pure function of the arrival order (a replay builds the
+// identical H).
+func FuzzEDCSInsert(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 2, 0, 1}, uint8(8))         // duplicate both ways + loop
+	f.Add([]byte{3, 3, 3, 3, 3, 4, 4, 3}, uint8(2))         // loop spam around one vertex
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5}, uint8(200)) // path, large beta
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, betaRaw uint8) {
+		if len(data) > 1<<12 {
+			t.Skip("bound the per-input work")
+		}
+		p := ParamsForBeta(2 + int(betaRaw)%62)
+		edges := decodeArrivals(data)
+
+		s := New(0, p)
+		for _, e := range edges {
+			s.Insert(e)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("params %+v, %d arrivals: %v", p, len(edges), err)
+		}
+		if s.Size() != len(s.Edges()) {
+			t.Fatalf("Size %d != len(Edges) %d", s.Size(), len(s.Edges()))
+		}
+		if s.Stored() > len(edges) {
+			t.Fatalf("stored %d of %d arrivals", s.Stored(), len(edges))
+		}
+
+		replay := New(0, p)
+		for _, e := range edges {
+			replay.Insert(e)
+		}
+		if !reflect.DeepEqual(s.Edges(), replay.Edges()) {
+			t.Fatal("same arrival order produced different EDCSs")
+		}
+	})
+}

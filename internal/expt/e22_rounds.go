@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/edcs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/rounds"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E22",
+		Title: "Multi-round MPC on EDCS: rounds vs matching quality vs communication",
+		Paper: "Coresets Meet EDCS (arXiv:1711.03076): iterating the EDCS sketch — shard, build per-machine EDCSs, union, reshard with a shrinking machine count — yields O(log log n)-round MPC algorithms. Each extra round shrinks the graph the coordinator must compose over (the union is at most k*n*beta/2 edges) at the price of another round of communication; the experiment charts that trade on GNP and power-law inputs, with the final round's measured wire cost through the cluster runtime agreeing with the simulated accounting.",
+		Run:   runE22,
+	})
+}
+
+func runE22(cfg Config) *Result {
+	ns := pick(cfg, []int{1500, 2500}, []int{10000, 20000})
+	k := pick(cfg, 9, 16)
+	beta := 8 // aggressive trimming so the per-round shrink is visible
+	roundCaps := []int{1, 2, 3}
+
+	type workload struct {
+		name string
+		make func(n int, r *rng.RNG) *graph.Graph
+	}
+	workloads := []workload{
+		{"gnp-deg24", func(n int, r *rng.RNG) *graph.Graph { return gen.GNP(n, 24/float64(n), r) }},
+		{"powerlaw", func(n int, r *rng.RNG) *graph.Graph { return gen.ChungLu(n, 2.0, n/8+1, r) }},
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E22: multi-round EDCS (beta=%d) from k=%d machines (schedule k_{r+1} = floor(sqrt(k_r)); ratios vs exact maximum matching)", beta, k),
+		"workload", "n", "rounds", "ratio", "compose edges", "total comm KB", "max machine KB", "cluster meas KB", "meas/est")
+	root := rng.New(cfg.Seed)
+	ctx := context.Background()
+	p := edcs.ParamsForBeta(beta)
+	violations := 0
+	for _, wl := range workloads {
+		for _, n := range ns {
+			r := root.Split(uint64(hash2("e22"+wl.name, n, k)))
+			g := wl.make(n, r)
+			if g.M() == 0 {
+				continue
+			}
+			hashSeed := r.Uint64()
+			opt := matching.Maximum(g.N, g.Edges).Size()
+			if opt == 0 {
+				continue
+			}
+			var prevRatio float64
+			for _, rc := range roundCaps {
+				rcfg := rounds.Config{K: k, Rounds: rc, Seed: hashSeed, Params: p, Workers: cfg.Workers}
+				m, st, err := rounds.Batch(g, rcfg)
+				if err != nil {
+					panic(err) // experiments fail loudly
+				}
+
+				// The same schedule through the cluster runtime: per-round
+				// MEASURED wire bytes must agree with the simulated estimate.
+				addrs, shutdown, err := cluster.ServeLoopback(k)
+				if err != nil {
+					panic(err)
+				}
+				cm, cst, err := rounds.Cluster(ctx, stream.NewGraphSource(g), cluster.Config{Workers: addrs, Seed: hashSeed}, rcfg)
+				shutdown()
+				if err != nil {
+					panic(err)
+				}
+				if cm.Size() != m.Size() || cst.EstCommBytes != st.TotalCommBytes || cst.RoundsRun != st.RoundsRun {
+					violations++ // seed parity broke: the runtimes disagree
+				}
+
+				ratioNow := ratio(float64(m.Size()), float64(opt))
+				// More rounds must not cost approximation beyond noise: the
+				// union always contains an EDCS of the previous union.
+				if rc > 1 && ratioNow < prevRatio-0.05 {
+					violations++
+				}
+				prevRatio = ratioNow
+				tb.AddRow(wl.name, n, fmt.Sprintf("%d/%d", st.RoundsRun, rc),
+					fmt.Sprintf("%.4f", ratioNow),
+					st.CompositionEdges,
+					fmt.Sprintf("%.1f", float64(st.TotalCommBytes)/1024),
+					fmt.Sprintf("%.1f", float64(st.MaxMachineBytes)/1024),
+					fmt.Sprintf("%.1f", float64(cst.TotalCommBytes)/1024),
+					fmt.Sprintf("%.3f", ratio(float64(cst.TotalCommBytes), float64(cst.EstCommBytes))))
+			}
+		}
+	}
+	notes := []string{
+		"each extra round shrinks 'compose edges' (the union the coordinator must run an exact matcher over) geometrically while adding one more round of coreset messages to 'total comm KB' — the MPC trade the paper's O(log log n) schedule navigates; the early exit reports rounds run as r/cap when the union stopped shrinking before the cap",
+		"the matching ratio holds (or improves) as rounds increase: every round's union contains an EDCS of its input, so the (3/2+eps) guarantee survives iteration while the composition input shrinks",
+		"cluster meas KB is every round's CORESET frames read off loopback TCP through one reused session (one HELLO per run); meas/est stays near 1 because the wire and the simulated accounting share one codec",
+	}
+	if violations > 0 {
+		notes = append(notes, fmt.Sprintf("ENVELOPE VIOLATION: %d cells broke seed parity or lost approximation across rounds", violations))
+	}
+	return &Result{
+		ID:     "E22",
+		Title:  "Multi-round MPC on EDCS",
+		Tables: []*stats.Table{tb},
+		Notes:  notes,
+	}
+}

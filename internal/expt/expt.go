@@ -35,7 +35,7 @@ type Result struct {
 
 // Experiment is a registered, runnable reproduction unit.
 type Experiment struct {
-	ID    string // E1..E21
+	ID    string // E1..E22
 	Title string
 	Paper string // the paper result it reproduces
 	Run   func(cfg Config) *Result
@@ -47,7 +47,7 @@ func register(e Experiment) {
 	registry = append(registry, e)
 }
 
-// All returns the experiments sorted by ID (E1, E2, ..., E21).
+// All returns the experiments sorted by ID (E1, E2, ..., E22).
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool {

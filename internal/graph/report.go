@@ -52,4 +52,38 @@ type RunReport struct {
 
 	DurationMS  float64 `json:"durationMs"`
 	EdgesPerSec float64 `json:"edgesPerSec,omitempty"`
+
+	// Multi-round MPC fields (task "edcs" driven by internal/rounds;
+	// omitted for single-round runs). Rounds is the configured round cap,
+	// RoundsRun how many rounds actually executed (the early exit stops
+	// below the cap once the union stops shrinking), and RoundStats the
+	// per-round breakdown. For multi-round runs the top-level communication
+	// fields aggregate across rounds: TotalCommBytes sums every round,
+	// MaxMachineBytes is the largest single message of any round, and the
+	// per-machine slices describe the FINAL round (whose coresets are what
+	// the coordinator composed).
+	Rounds     int           `json:"rounds,omitempty"`
+	RoundsRun  int           `json:"roundsRun,omitempty"`
+	RoundStats []RoundReport `json:"roundStats,omitempty"`
+}
+
+// RoundReport is one round of a multi-round EDCS run: how many machines were
+// active, what the round consumed and produced, and what its coreset
+// messages cost. In cluster mode TotalCommBytes/MaxMachineBytes are measured
+// off the TCP connections per round (the estimate rides alongside, as in the
+// top-level fields); in batch and stream mode they are the simulated
+// estimate and the Est* fields are omitted.
+type RoundReport struct {
+	Round      int    `json:"round"`      // 0-based round index
+	K          int    `json:"k"`          // machines active this round
+	Seed       uint64 `json:"seed"`       // per-round sharding seed
+	InputEdges int    `json:"inputEdges"` // edges fed into the round
+	UnionEdges int    `json:"unionEdges"` // edges in the union of the round's coresets
+
+	TotalCommBytes     int     `json:"totalCommBytes"`
+	MaxMachineBytes    int     `json:"maxMachineBytes"`
+	EstCommBytes       int     `json:"estCommBytes,omitempty"`       // cluster only
+	EstMaxMachineBytes int     `json:"estMaxMachineBytes,omitempty"` // cluster only
+	ShardBytes         int     `json:"shardBytes,omitempty"`         // cluster only
+	DurationMS         float64 `json:"durationMs"`
 }

@@ -1,0 +1,429 @@
+// Package rounds is the multi-round MPC driver on the EDCS sketch,
+// following the O(log log n)-round algorithms of
+//
+//	Assadi, Bateni, Bernstein, Mirrokni, Stein.
+//	"Coresets Meet EDCS" (arXiv:1711.03076).
+//
+// The single-round pipeline (internal/edcs) shards the input over k
+// machines, builds one EDCS per machine, and composes a matching from the
+// union of the coresets. This package iterates that step: round r takes the
+// union of round r−1's per-machine EDCSs as its input graph, reshards it
+// with the same seeded hash partitioning every runtime uses
+// (partition.HashAssign / partition.HashK), and rebuilds. Because the union
+// of k EDCSs has at most k·n·β/2 edges — a geometric shrink for dense
+// inputs — the machine count can shrink with it: the schedule here is the
+// paper's recursion k_{r+1} = ⌊√k_r⌋, which reaches a single machine after
+// O(log log k) rounds while per-machine load stays within the space the
+// model grants (NextK). Each round draws a fresh seed from the root seed
+// (SeedForRound; round 0 uses the root seed itself, which is what makes a
+// Rounds=1 run reproduce today's single-round EDCS coresets bit for bit).
+//
+// The driver runs over all three execution runtimes:
+//
+//   - Batch materializes each round's input and partitions with
+//     partition.HashK.
+//   - Stream feeds round 0 from any stream.EdgeSource (never materializing
+//     the original input) and later rounds from the in-memory union, which
+//     is coordinator state the MPC model already charges for.
+//   - Cluster drives a real worker fleet through one cluster.EDCSSession:
+//     the connections are dialed once, one HELLO carries the round cap, and
+//     every round's communication is MEASURED off the TCP connections.
+//
+// All three produce deep-equal per-machine coresets for the same
+// (graph, seed, k, β, rounds) — the multi-round extension of the seed
+// parity the single-round runtimes already guarantee — because each round
+// is itself a parity-checked single-round run and the union is concatenated
+// in machine order. Rounds end at the configured cap or earlier, when the
+// union stops shrinking (|union| ≥ |input| means the sketch has converged
+// and further rounds would only burn communication).
+package rounds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edcs"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/stream"
+)
+
+// MaxRounds is the sanity cap every user-facing surface (CLI flag, service
+// request) applies to the round cap. The paper's schedule needs
+// O(log log n) rounds — single digits for any real input — so anything near
+// this cap is already nonsense.
+const MaxRounds = 64
+
+// Config parameterizes a multi-round run.
+type Config struct {
+	// K is the round-0 machine count (required, > 0). In cluster mode it
+	// must equal the worker fleet size.
+	K int
+	// Rounds is the round cap (required, in [1, MaxRounds]). Rounds = 1
+	// reproduces the single-round EDCS pipeline exactly.
+	Rounds int
+	// Seed is the root seed; round r shards with SeedForRound(Seed, r).
+	Seed uint64
+	// Params are the EDCS degree constraints, fixed across rounds.
+	Params edcs.Params
+	// BatchSize is the per-shard-frame edge count for the stream and
+	// cluster runtimes (0 = their default).
+	BatchSize int
+	// Workers caps goroutine parallelism in batch mode (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate rejects configurations no driver can run.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return errors.New("rounds: config K must be > 0")
+	}
+	if c.Rounds < 1 || c.Rounds > MaxRounds {
+		return fmt.Errorf("rounds: round cap %d outside [1, %d]", c.Rounds, MaxRounds)
+	}
+	return c.Params.Validate()
+}
+
+// NextK is the paper's machine-shrink recursion: the union of k per-machine
+// EDCSs is enough smaller than the round's input that ⌊√k⌋ machines can
+// hold it at the same per-machine space, so k_{r+1} = ⌊√k_r⌋ (never below
+// 1). Iterating reaches 1 after O(log log k) rounds — the paper's round
+// complexity.
+func NextK(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	// Integer square root by Newton iteration; k is a machine count, so the
+	// loop runs a handful of times.
+	x := k
+	for y := (x + k/x) / 2; y < x; y = (x + k/x) / 2 {
+		x = y
+	}
+	return x
+}
+
+// SeedForRound derives round r's sharding seed from the root seed. Round 0
+// uses the root seed verbatim — a Rounds=1 run must reproduce today's
+// single-round EDCS coresets bit for bit, across every runtime — and later
+// rounds mix the round index through the splitmix64 finalizer so resharding
+// a round's union is a fresh random k-partitioning rather than a replay of
+// the previous round's cuts.
+func SeedForRound(seed uint64, round int) uint64 {
+	if round == 0 {
+		return seed
+	}
+	x := seed + uint64(round)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RoundStat is one round's accounting. The byte fields follow the runtime's
+// convention: measured off the wire in cluster mode (with the simulated
+// estimate alongside), the simulated estimate itself in batch and stream
+// mode.
+type RoundStat struct {
+	Round        int    // 0-based
+	K            int    // machines active this round
+	Seed         uint64 // sharding seed (SeedForRound)
+	InputEdges   int    // edges fed into the round
+	UnionEdges   int    // edges in the union of the round's coresets
+	CoresetEdges []int  // per-machine coreset sizes
+
+	TotalCommBytes     int
+	MaxMachineBytes    int
+	EstCommBytes       int // cluster only
+	EstMaxMachineBytes int // cluster only
+	ShardBytes         int // cluster only
+	Duration           time.Duration
+}
+
+// Stats reports a whole multi-round run: per-round breakdowns plus
+// aggregates. The final round's coresets — whose union the coordinator
+// composed — are retained so callers (parity tests, the CLI's JSON report)
+// can inspect exactly what was composed.
+type Stats struct {
+	K          int // round-0 machine count
+	N          int // vertex count
+	EdgesTotal int // round-0 input edges
+	RoundCap   int // configured cap
+	RoundsRun  int
+	Rounds     []RoundStat
+
+	// Coresets are the final round's per-machine EDCS edge lists, indexed
+	// by machine.
+	Coresets [][]graph.Edge
+
+	// TotalCommBytes sums every round's coreset messages; MaxMachineBytes
+	// is the largest single message of any round. Est*/ShardBytes aggregate
+	// the same way (cluster only).
+	TotalCommBytes     int
+	MaxMachineBytes    int
+	EstCommBytes       int
+	EstMaxMachineBytes int
+	ShardBytes         int
+	CompositionEdges   int // final-round union size (what composition saw)
+	Duration           time.Duration
+}
+
+// accumulate folds one finished round into the aggregates.
+func (s *Stats) accumulate(rs RoundStat, coresets [][]graph.Edge) {
+	s.Rounds = append(s.Rounds, rs)
+	s.RoundsRun++
+	s.Coresets = coresets
+	s.TotalCommBytes += rs.TotalCommBytes
+	if rs.MaxMachineBytes > s.MaxMachineBytes {
+		s.MaxMachineBytes = rs.MaxMachineBytes
+	}
+	s.EstCommBytes += rs.EstCommBytes
+	if rs.EstMaxMachineBytes > s.EstMaxMachineBytes {
+		s.EstMaxMachineBytes = rs.EstMaxMachineBytes
+	}
+	s.ShardBytes += rs.ShardBytes
+	s.CompositionEdges = rs.UnionEdges
+}
+
+// Report assembles the shared JSON-able run report. Mode names the runtime
+// ("batch" | "stream" | "cluster"); the per-machine slices describe the
+// final round, the communication fields aggregate across rounds, and the
+// per-round breakdown rides in RoundStats.
+func (s *Stats) Report(mode string, seed uint64, solutionSize, beta int) *graph.RunReport {
+	rep := &graph.RunReport{
+		Task:               "edcs",
+		Mode:               mode,
+		N:                  s.N,
+		M:                  s.EdgesTotal,
+		K:                  s.K,
+		Seed:               seed,
+		Beta:               beta,
+		SolutionSize:       solutionSize,
+		TotalCommBytes:     s.TotalCommBytes,
+		MaxMachineBytes:    s.MaxMachineBytes,
+		EstCommBytes:       s.EstCommBytes,
+		EstMaxMachineBytes: s.EstMaxMachineBytes,
+		ShardBytes:         s.ShardBytes,
+		CompositionEdges:   s.CompositionEdges,
+		DurationMS:         float64(s.Duration.Microseconds()) / 1000,
+		Rounds:             s.RoundCap,
+		RoundsRun:          s.RoundsRun,
+	}
+	for _, cs := range s.Coresets {
+		rep.CoresetEdges = append(rep.CoresetEdges, len(cs))
+	}
+	for _, rs := range s.Rounds {
+		rep.RoundStats = append(rep.RoundStats, graph.RoundReport{
+			Round:              rs.Round,
+			K:                  rs.K,
+			Seed:               rs.Seed,
+			InputEdges:         rs.InputEdges,
+			UnionEdges:         rs.UnionEdges,
+			TotalCommBytes:     rs.TotalCommBytes,
+			MaxMachineBytes:    rs.MaxMachineBytes,
+			EstCommBytes:       rs.EstCommBytes,
+			EstMaxMachineBytes: rs.EstMaxMachineBytes,
+			ShardBytes:         rs.ShardBytes,
+			DurationMS:         float64(rs.Duration.Microseconds()) / 1000,
+		})
+	}
+	return rep
+}
+
+// union concatenates per-machine coresets in machine order — the
+// deterministic next-round input every runtime reproduces identically. Each
+// coreset is already sorted and the per-round shards are disjoint edge sets
+// (edge hygiene in edcs.Insert guarantees no machine stores a duplicate),
+// so the union is a simple graph.
+func union(coresets [][]graph.Edge) []graph.Edge {
+	total := 0
+	for _, cs := range coresets {
+		total += len(cs)
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, cs := range coresets {
+		out = append(out, cs...)
+	}
+	return out
+}
+
+// runRound executes one round and returns its per-machine coresets, the
+// round accounting and the vertex count the round observed (constant across
+// rounds; drive records it from round 0). Implementations: batch HashK +
+// edcs.Coreset, the streaming pipeline, one cluster.EDCSSession round.
+type runRound func(ctx context.Context, input stream.EdgeSource, k int, seed uint64) (coresets [][]graph.Edge, rs RoundStat, n int, err error)
+
+// drive is the schedule shared by the three runtimes: run rounds with
+// shrinking k and per-round seeds until the cap, or until the union stops
+// shrinking, then compose a maximum matching of the final union. src feeds
+// round 0; later rounds stream the previous union from memory.
+func drive(ctx context.Context, src stream.EdgeSource, cfg Config, exec runRound) (*matching.Matching, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if src == nil {
+		return nil, nil, errors.New("rounds: nil source")
+	}
+	start := time.Now()
+	st := &Stats{K: cfg.K, RoundCap: cfg.Rounds}
+	k := cfg.K
+	var prevUnion []graph.Edge
+	for round := 0; round < cfg.Rounds; round++ {
+		input := src
+		if round > 0 {
+			input = stream.NewSliceSource(st.N, prevUnion)
+		}
+		seed := SeedForRound(cfg.Seed, round)
+		coresets, rs, n, err := exec(ctx, input, k, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs.Round, rs.K, rs.Seed = round, k, seed
+		prevUnion = union(coresets)
+		rs.UnionEdges = len(prevUnion)
+		if round == 0 {
+			st.EdgesTotal = rs.InputEdges
+			st.N = n
+		}
+		st.accumulate(rs, coresets)
+		if rs.UnionEdges >= rs.InputEdges {
+			break // the sketch converged; further rounds only burn communication
+		}
+		k = NextK(k)
+	}
+	m := core.ComposeMatching(st.N, st.Coresets)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// Batch runs the multi-round driver over the materialized batch runtime:
+// every round partitions its input with partition.HashK and builds the
+// per-machine EDCSs in parallel (cfg.Workers goroutines), exactly as
+// edcs.Distributed does for a single round.
+func Batch(g *graph.Graph, cfg Config) (*matching.Matching, *Stats, error) {
+	exec := func(ctx context.Context, input stream.EdgeSource, k int, seed uint64) ([][]graph.Edge, RoundStat, int, error) {
+		t0 := time.Now()
+		edges, n, err := drain(input)
+		if err != nil {
+			return nil, RoundStat{}, 0, err
+		}
+		parts := partition.HashK(edges, k, seed)
+		coresets := core.MapParts(parts, cfg.Workers, func(i int, part []graph.Edge) []graph.Edge {
+			return edcs.Coreset(n, part, cfg.Params)
+		})
+		rs := RoundStat{InputEdges: len(edges)}
+		chargeEstimated(&rs, coresets)
+		rs.Duration = time.Since(t0)
+		return coresets, rs, n, nil
+	}
+	return drive(context.Background(), stream.NewGraphSource(g), cfg, exec)
+}
+
+// Stream runs the multi-round driver over the in-process streaming runtime:
+// round 0 shards src through the concurrent pipeline without materializing
+// it; later rounds stream the in-memory union. Cancellation is cooperative
+// at batch granularity, as in stream.EDCSContext.
+func Stream(ctx context.Context, src stream.EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
+	exec := func(ctx context.Context, input stream.EdgeSource, k int, seed uint64) ([][]graph.Edge, RoundStat, int, error) {
+		sums, sst, err := stream.EDCSSummaries(ctx, input, stream.Config{K: k, Seed: seed, BatchSize: cfg.BatchSize}, cfg.Params)
+		if err != nil {
+			return nil, RoundStat{}, 0, err
+		}
+		coresets := make([][]graph.Edge, len(sums))
+		for i, s := range sums {
+			coresets[i] = s.Coreset
+		}
+		rs := RoundStat{InputEdges: sst.EdgesTotal}
+		chargeEstimated(&rs, coresets)
+		rs.Duration = sst.Duration
+		return coresets, rs, sst.N, nil
+	}
+	return drive(ctx, src, cfg, exec)
+}
+
+// Cluster runs the multi-round driver over a real worker fleet through one
+// cluster.EDCSSession: the worker connections are dialed once and reused
+// across rounds, one HELLO per run carries the round cap, and every round's
+// communication lands in the round breakdown as MEASURED wire bytes. The
+// fleet size overrides cfg.K (one machine per worker, as everywhere in the
+// cluster runtime).
+func Cluster(ctx context.Context, src stream.EdgeSource, ccfg cluster.Config, cfg Config) (*matching.Matching, *Stats, error) {
+	cfg.K = len(ccfg.Workers)
+	if cfg.BatchSize > 0 && ccfg.BatchSize == 0 {
+		ccfg.BatchSize = cfg.BatchSize
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nHint := 0
+	if src != nil && src.KnownUpfront() {
+		nHint = src.NumVertices()
+	}
+	sess, err := cluster.DialEDCSRounds(ctx, ccfg, cfg.Params, cfg.Rounds, nHint)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.Close()
+	exec := func(ctx context.Context, input stream.EdgeSource, k int, seed uint64) ([][]graph.Edge, RoundStat, int, error) {
+		sums, cst, err := sess.Round(ctx, input, k, seed)
+		if err != nil {
+			return nil, RoundStat{}, 0, err
+		}
+		coresets := make([][]graph.Edge, len(sums))
+		for i, s := range sums {
+			coresets[i] = s.Coreset
+		}
+		rs := RoundStat{
+			InputEdges:         cst.EdgesTotal,
+			TotalCommBytes:     cst.TotalCommBytes,
+			MaxMachineBytes:    cst.MaxMachineBytes,
+			EstCommBytes:       cst.EstCommBytes,
+			EstMaxMachineBytes: cst.EstMaxMachineBytes,
+			ShardBytes:         cst.ShardBytes,
+			Duration:           cst.Duration,
+		}
+		for _, cs := range coresets {
+			rs.CoresetEdges = append(rs.CoresetEdges, len(cs))
+		}
+		return coresets, rs, cst.N, nil
+	}
+	return drive(ctx, src, cfg, exec)
+}
+
+// chargeEstimated fills an in-process round's communication fields with the
+// simulated estimate — core.CoresetSizeBytes, the same function of the edge
+// list the cluster runtime's measured frames encode.
+func chargeEstimated(rs *RoundStat, coresets [][]graph.Edge) {
+	for _, cs := range coresets {
+		rs.CoresetEdges = append(rs.CoresetEdges, len(cs))
+		b := core.CoresetSizeBytes(cs)
+		rs.TotalCommBytes += b
+		if b > rs.MaxMachineBytes {
+			rs.MaxMachineBytes = b
+		}
+	}
+}
+
+// drain materializes a source (batch mode's view of a round input).
+func drain(src stream.EdgeSource) ([]graph.Edge, int, error) {
+	var edges []graph.Edge
+	buf := make([]graph.Edge, 4096)
+	for {
+		c, err := src.Next(buf)
+		edges = append(edges, buf[:c]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, 0, err
+		}
+	}
+	return edges, src.NumVertices(), nil
+}

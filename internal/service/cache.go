@@ -16,21 +16,25 @@ import (
 // reused ID can never be served the old graph's results. Batch is included
 // because, while the composed solution is batch-size-invariant, the report's
 // telemetry (batches, duration, throughput) is not. Beta is the EDCS degree
-// bound (normalize pins it to 0 for the other tasks, so it never splits
-// their keys).
+// bound and Rounds the multi-round cap (normalize pins both to 0 where they
+// do not apply, so they never split the other tasks' keys; Rounds = 0 and
+// Rounds = 1 are distinct keys because their reports differ — the latter
+// carries the per-round breakdown — even though the composed coresets are
+// identical by construction).
 type Key struct {
-	Graph string
-	Gen   int64
-	Task  string
-	K     int
-	Seed  uint64
-	Mode  string
-	Batch int
-	Beta  int
+	Graph  string
+	Gen    int64
+	Task   string
+	K      int
+	Seed   uint64
+	Mode   string
+	Batch  int
+	Beta   int
+	Rounds int
 }
 
 func jobKey(r CreateJobRequest, gen int64) Key {
-	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch, Beta: r.Beta}
+	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch, Beta: r.Beta, Rounds: r.Rounds}
 }
 
 // Cache is an LRU result cache with hit/miss counters. Stored reports are

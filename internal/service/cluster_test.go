@@ -60,6 +60,48 @@ func TestClusterModeJobs(t *testing.T) {
 
 // TestClusterModeRejectedWithoutFleet: without -cluster the daemon rejects
 // cluster jobs up front with a client error, not a failed job.
+// TestClusterModeMultiRoundJobs: mode "cluster" with rounds >= 1 drives one
+// multi-round session over the daemon's fleet; the report's per-round
+// breakdown carries measured bytes, and the composed solution matches the
+// in-process multi-round stream job for the same request.
+func TestClusterModeMultiRoundJobs(t *testing.T) {
+	const k = 2
+	addrs, shutdown, err := cluster.ServeLoopback(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	_, c := newTestService(t, Config{Workers: 2, ClusterWorkers: addrs})
+
+	var info GraphInfo
+	if code := c.postJSON("/v1/graphs", CreateGraphRequest{Gen: &GenSpec{Name: "gnp", N: 1000, Deg: 30, Seed: 3}}, &info); code != http.StatusCreated {
+		t.Fatalf("register graph: status %d", code)
+	}
+	run := func(mode string) JobView {
+		v := c.runJob(CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: k, Seed: 5, Mode: mode, Beta: 8, Rounds: 2})
+		if v.State != string(JobDone) {
+			t.Fatalf("%s job ended %s: %s", mode, v.State, v.Error)
+		}
+		return v
+	}
+	cr := run(ModeCluster).Result
+	sr := run(ModeStream).Result
+	if cr.Mode != "cluster" || cr.RoundsRun != sr.RoundsRun || len(cr.RoundStats) != cr.RoundsRun {
+		t.Fatalf("cluster multi-round report: %+v", cr)
+	}
+	if cr.SolutionSize != sr.SolutionSize {
+		t.Fatalf("cluster solution %d differs from stream %d", cr.SolutionSize, sr.SolutionSize)
+	}
+	if cr.TotalCommBytes <= 0 || cr.EstCommBytes != sr.TotalCommBytes {
+		t.Fatalf("cluster bytes measured %d / est %d, stream %d", cr.TotalCommBytes, cr.EstCommBytes, sr.TotalCommBytes)
+	}
+	for _, rr := range cr.RoundStats {
+		if rr.TotalCommBytes < rr.EstCommBytes || rr.EstCommBytes <= 0 {
+			t.Fatalf("round %d bytes not measured: %+v", rr.Round, rr)
+		}
+	}
+}
+
 func TestClusterModeRejectedWithoutFleet(t *testing.T) {
 	_, c := newTestService(t, Config{Workers: 1})
 	var info GraphInfo

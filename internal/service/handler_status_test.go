@@ -32,6 +32,11 @@ func TestJobSubmissionStatusCodes(t *testing.T) {
 		{"beta-on-matching", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Beta: 8}, http.StatusBadRequest},
 		{"beta-too-small", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Beta: 1}, http.StatusBadRequest},
 		{"beta-too-large", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Beta: MaxJobBeta + 1}, http.StatusBadRequest},
+		{"rounds-on-matching", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Rounds: 2}, http.StatusBadRequest},
+		{"rounds-on-vc", CreateJobRequest{Graph: info.ID, Task: TaskVC, K: 2, Rounds: 1}, http.StatusBadRequest},
+		{"rounds-negative", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Rounds: -1}, http.StatusBadRequest},
+		{"rounds-too-large", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Rounds: MaxJobRounds + 1}, http.StatusBadRequest},
+		{"rounds-valid", CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 2, Rounds: 2}, http.StatusAccepted},
 		{"no-cluster-fleet", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2, Mode: ModeCluster}, http.StatusBadRequest},
 		{"unknown-graph", CreateJobRequest{Graph: "ghost", Task: TaskMatching, K: 2}, http.StatusNotFound},
 		{"valid", CreateJobRequest{Graph: info.ID, Task: TaskMatching, K: 2}, http.StatusAccepted},

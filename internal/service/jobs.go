@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
+	"repro/internal/rounds"
 	"repro/internal/stream"
 )
 
@@ -277,6 +278,19 @@ func (m *Manager) worker() {
 	}
 }
 
+// roundsConfig assembles the multi-round driver configuration for a
+// normalized EDCS job with Rounds >= 1. The cluster driver overrides K with
+// the fleet size, exactly as Submit already validated.
+func (m *Manager) roundsConfig(req CreateJobRequest) rounds.Config {
+	return rounds.Config{
+		K:         req.K,
+		Rounds:    req.Rounds,
+		Seed:      req.Seed,
+		Params:    edcs.ParamsForBeta(req.Beta),
+		BatchSize: req.Batch,
+	}
+}
+
 // execute pins the job's graph and runs the requested pipeline. Streaming
 // jobs honor the job context at batch granularity; batch jobs check it
 // before and after the (uninterruptible) core pipeline call.
@@ -307,6 +321,13 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			}
 			return st.Report(req.Task, req.Seed, sol.Size()), nil
 		case TaskEDCS:
+			if req.Rounds >= 1 {
+				sol, st, err := rounds.Stream(j.ctx, src, m.roundsConfig(req))
+				if err != nil {
+					return nil, err
+				}
+				return st.Report(ModeStream, req.Seed, sol.Size(), req.Beta), nil
+			}
 			sol, st, err := stream.EDCSContext(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
 			if err != nil {
 				return nil, err
@@ -336,6 +357,13 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			}
 			return st.Report(req.Task, req.Seed, sol.Size()), nil
 		case TaskEDCS:
+			if req.Rounds >= 1 {
+				sol, st, err := rounds.Cluster(j.ctx, src, cfg, m.roundsConfig(req))
+				if err != nil {
+					return nil, err
+				}
+				return st.Report(ModeCluster, req.Seed, sol.Size(), req.Beta), nil
+			}
 			sol, st, err := cluster.EDCS(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
 			if err != nil {
 				return nil, err
@@ -358,6 +386,16 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 	}
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
+	}
+	if req.Task == TaskEDCS && req.Rounds >= 1 {
+		sol, st, err := rounds.Batch(g, m.roundsConfig(req))
+		if err != nil {
+			return nil, err
+		}
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return st.Report(ModeBatch, req.Seed, sol.Size(), req.Beta), nil
 	}
 	start := time.Now()
 	var (

@@ -152,6 +152,54 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestMultiRoundJobs: a rounds >= 1 EDCS job runs the multi-round driver in
+// every mode, its report carries the per-round breakdown, batch and stream
+// agree (seed parity through the service), and the round cap is part of the
+// cache key — the same request repeats from cache, while rounds=0 and
+// rounds=1 are distinct entries.
+func TestMultiRoundJobs(t *testing.T) {
+	_, c := newTestService(t, Config{Workers: 2})
+	var info GraphInfo
+	spec := CreateGraphRequest{Gen: &GenSpec{Name: "gnp", N: 800, Deg: 30, Seed: 1}}
+	if code := c.postJSON("/v1/graphs", spec, &info); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+
+	req := CreateJobRequest{Graph: info.ID, Task: TaskEDCS, K: 4, Seed: 7, Beta: 8, Rounds: 3}
+	req.Mode = ModeStream
+	streamJob := c.runJob(req)
+	req.Mode = ModeBatch
+	batchJob := c.runJob(req)
+	for _, v := range []JobView{streamJob, batchJob} {
+		if v.State != string(JobDone) {
+			t.Fatalf("job %+v", v)
+		}
+		r := v.Result
+		if r.Rounds != 3 || r.RoundsRun < 2 || len(r.RoundStats) != r.RoundsRun {
+			t.Fatalf("missing round breakdown: %+v", r)
+		}
+	}
+	if streamJob.Result.SolutionSize != batchJob.Result.SolutionSize ||
+		streamJob.Result.RoundsRun != batchJob.Result.RoundsRun ||
+		streamJob.Result.TotalCommBytes != batchJob.Result.TotalCommBytes {
+		t.Fatalf("modes disagree:\nstream %+v\nbatch  %+v", streamJob.Result, batchJob.Result)
+	}
+
+	// Same request again: cache hit. rounds=0 (single-round) instead: a
+	// different key, so a fresh run — whose report has no round breakdown.
+	if again := c.runJob(req); !again.Cached {
+		t.Fatalf("repeat multi-round query not cached: %+v", again)
+	}
+	req.Rounds = 0
+	single := c.runJob(req)
+	if single.Cached {
+		t.Fatal("rounds=0 must not share the rounds=3 cache entry")
+	}
+	if single.Result.RoundsRun != 0 || len(single.Result.RoundStats) != 0 {
+		t.Fatalf("single-round report grew round fields: %+v", single.Result)
+	}
+}
+
 // Batch and stream jobs on the same generator spec must agree with the CLI
 // parameter mapping: same spec, same seed, same composed answer per mode.
 func TestGeneratorGraphJobs(t *testing.T) {

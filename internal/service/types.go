@@ -31,6 +31,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/rounds"
 	"repro/internal/stream"
 )
 
@@ -69,6 +70,9 @@ const (
 	// every surface shares, so a request the daemon admits can never be
 	// rejected downstream by the cluster wire protocol.
 	MaxJobBeta = edcs.MaxBeta
+	// MaxJobRounds caps the multi-round cap, shared with the CLI and (well
+	// under) the cluster wire protocol's own bound for the same reason.
+	MaxJobRounds = rounds.MaxRounds
 )
 
 // GenSpec describes a synthetic graph by generator name and parameters. The
@@ -159,6 +163,11 @@ type CreateJobRequest struct {
 	Mode  string `json:"mode,omitempty"`  // batch | stream (default stream)
 	Batch int    `json:"batch,omitempty"` // streaming batch size (0 = default)
 	Beta  int    `json:"beta,omitempty"`  // EDCS degree bound (task edcs; 0 = default)
+	// Rounds engages the multi-round MPC driver for task edcs: iterate the
+	// EDCS sketch for up to Rounds rounds (internal/rounds). 0 keeps the
+	// single-round pipeline; Rounds = 1 runs the driver but reproduces the
+	// single-round coresets exactly.
+	Rounds int `json:"rounds,omitempty"`
 }
 
 // ErrInvalidRequest tags every job-submission validation failure, so the
@@ -170,26 +179,50 @@ func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrInvalidRequest}, args...)...)
 }
 
+// ValidateTaskParams checks the task-scoped EDCS parameters — the degree
+// bound and the multi-round cap — shared by every user-facing surface:
+// cmd/coreset's flags, cmd/coresetload's flags and this service's job API
+// all call it, so the three cannot drift on bounds or message text. Zero
+// means "not set" for both parameters; the returned error text is the
+// canonical vocabulary, to which each caller adds its own prefix (the
+// service wraps it in ErrInvalidRequest for 4xx classification).
+func ValidateTaskParams(task string, beta, rounds int) error {
+	if beta != 0 {
+		if task != TaskEDCS {
+			return fmt.Errorf("beta only applies to task %q (got task %q)", TaskEDCS, task)
+		}
+		if beta < 2 || beta > MaxJobBeta {
+			return fmt.Errorf("beta must be in [2, %d] (got %d)", MaxJobBeta, beta)
+		}
+	}
+	if rounds != 0 {
+		if task != TaskEDCS {
+			return fmt.Errorf("rounds only applies to task %q (got task %q)", TaskEDCS, task)
+		}
+		if rounds < 0 || rounds > MaxJobRounds {
+			return fmt.Errorf("rounds must be in [0, %d] (got %d)", MaxJobRounds, rounds)
+		}
+	}
+	return nil
+}
+
 func (r *CreateJobRequest) normalize() error {
 	if r.Mode == "" {
 		r.Mode = ModeStream
 	}
 	switch r.Task {
-	case TaskMatching, TaskVC:
-		if r.Beta != 0 {
-			return badRequestf("beta only applies to task %q (got task %q)", TaskEDCS, r.Task)
-		}
-	case TaskEDCS:
-		if r.Beta == 0 {
-			r.Beta = edcs.DefaultBeta // pin the default so cache keys are canonical
-		}
-		// ParamsForBeta clamps any bound >= 2 into a valid pair, so the range
-		// check here is the whole validation.
-		if r.Beta < 2 || r.Beta > MaxJobBeta {
-			return badRequestf("beta must be in [2, %d] (got %d)", MaxJobBeta, r.Beta)
-		}
+	case TaskMatching, TaskVC, TaskEDCS:
 	default:
 		return badRequestf("unknown task %q", r.Task)
+	}
+	if err := ValidateTaskParams(r.Task, r.Beta, r.Rounds); err != nil {
+		return badRequestf("%s", err)
+	}
+	if r.Task == TaskEDCS && r.Beta == 0 {
+		// Pin the default so cache keys are canonical; ParamsForBeta clamps
+		// any bound >= 2 into a valid pair, so ValidateTaskParams' range
+		// check was the whole validation.
+		r.Beta = edcs.DefaultBeta
 	}
 	if r.Mode != ModeBatch && r.Mode != ModeStream && r.Mode != ModeCluster {
 		return badRequestf("unknown mode %q", r.Mode)

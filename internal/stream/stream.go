@@ -172,6 +172,28 @@ func EDCS(src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats
 
 // EDCSContext is EDCS with cooperative cancellation; see MatchingContext.
 func EDCSContext(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
+	start := time.Now()
+	sums, st, err := EDCSSummaries(ctx, src, cfg, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	coresets := make([][]graph.Edge, len(sums))
+	for i, s := range sums {
+		coresets[i] = s.Coreset
+	}
+	m := core.ComposeMatching(st.N, coresets)
+	st.Duration = time.Since(start)
+	return m, st, nil
+}
+
+// EDCSSummaries runs only the shard+build stages of the EDCS pipeline and
+// returns the per-machine summaries (indexed by machine) without composing a
+// matching. It is the building block of the multi-round MPC driver
+// (internal/rounds), which unions the per-machine coresets into the next
+// round's input instead of composing; EDCSContext is exactly this plus the
+// composition. Coreset sizes and communication accounting are already folded
+// into the returned stats.
+func EDCSSummaries(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params) ([]Summary, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -182,9 +204,12 @@ func EDCSContext(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params)
 	if err != nil {
 		return nil, nil, err
 	}
-	m := composeEdgeSummaries(sums, st)
+	for _, s := range sums {
+		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
+		st.CompositionEdges += len(s.Coreset)
+	}
 	st.Duration = time.Since(start)
-	return m, st, nil
+	return sums, st, nil
 }
 
 // VertexCover runs the full Theorem 2 pipeline over the stream and returns
