@@ -1,13 +1,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/edcs"
+	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stream"
 )
 
 // workerProcEnv diverts the test binary into worker mode, which is how the
@@ -107,6 +114,100 @@ func TestClusterLocalSelfSpawn(t *testing.T) {
 func TestClusterRejectsBadAddressList(t *testing.T) {
 	if _, errOut, code := runCLI(t, "-cluster", "a:1,,b:2", "-in", writePath10(t)); code == 0 || !strings.Contains(errOut, "empty worker address") {
 		t.Fatalf("empty address accepted (exit %d, stderr %q)", code, errOut)
+	}
+}
+
+// TestMaxRetriesRequiresCluster: -max-retries only means something for the
+// cluster runtime; setting it anywhere else is an error, never a silently
+// ignored flag.
+func TestMaxRetriesRequiresCluster(t *testing.T) {
+	_, errOut, code := runCLI(t, "-task", "matching", "-max-retries", "1", "-in", writePath10(t))
+	if code != 2 || !strings.Contains(errOut, "-max-retries requires -cluster") {
+		t.Fatalf("exit %d, stderr %q; want exit 2 naming the flag", code, errOut)
+	}
+}
+
+// TestClusterChaosSIGKILL is the process-level chaos drill: real forked
+// worker OS processes, one of them SIGKILLed between rounds of a live EDCS
+// session. The coordinator must absorb the loss — burn one replay attempt on
+// the dead address, recover on the spare — and the disturbed session's
+// per-round coresets must be deep-equal to the in-process streaming oracle.
+func TestClusterChaosSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks processes")
+	}
+	t.Setenv(workerProcEnv, "1") // children inherit it and become workers
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three processes: two fleet members plus one standby the replay engine
+	// may promote.
+	lw, err := cluster.SpawnLocal(exe, []string{"-worker"}, 3, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = lw.Close() })
+	addrs := lw.Addrs()
+
+	g := gen.GNP(600, 30.0/600, rng.New(7))
+	p := edcs.ParamsForBeta(16)
+	cfg := cluster.Config{
+		Workers:      addrs[:2],
+		Spares:       addrs[2:],
+		BatchSize:    64,
+		MaxRetries:   3,
+		RetryBackoff: 10 * time.Millisecond,
+	}
+	sess, err := cluster.DialEDCSRounds(context.Background(), cfg, p, 2, g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	seeds := []uint64{7, 8}
+	input := g.Edges
+	for r := 0; r < 2; r++ {
+		if r == 1 {
+			// SIGKILL a fleet member between rounds: its connection drops and
+			// its address refuses dials from here on.
+			if err := lw.Kill(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sums, st, err := sess.Round(context.Background(), stream.NewSliceSource(g.N, input), 2, seeds[r])
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if r == 1 {
+			// At least two attempts: the dead address, then the spare.
+			if st.Retries < 2 {
+				t.Fatalf("round 1 Retries = %d, want >= 2 (dead re-dial, then spare)", st.Retries)
+			}
+			if !reflect.DeepEqual(st.ReplayedMachines, []int{1}) {
+				t.Fatalf("round 1 ReplayedMachines = %v, want [1]", st.ReplayedMachines)
+			}
+		} else if st.Retries != 0 {
+			t.Fatalf("round 0 Retries = %d, want 0 (undisturbed)", st.Retries)
+		}
+
+		want, _, err := stream.EDCSSummaries(context.Background(),
+			stream.NewSliceSource(g.N, input), stream.Config{K: 2, Seed: seeds[r], BatchSize: 64}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(sums[i].Coreset, want[i].Coreset) {
+				t.Fatalf("round %d machine %d coreset diverged from the in-process oracle", r, i)
+			}
+		}
+		input = nil
+		for _, s := range sums {
+			input = append(input, s.Coreset...)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close after chaos session: %v", err)
 	}
 }
 

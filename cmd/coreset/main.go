@@ -98,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "max goroutines in batch mode (0 = GOMAXPROCS)")
 		streaming = fs.Bool("stream", false, "use the streaming sharded runtime (never materializes the graph)")
 		clusterTo = fs.String("cluster", "", "use the cluster runtime: worker addresses host:p1,host:p2,... or 'local' to fork -k workers")
+		retries   = fs.Int("max-retries", -1, "cluster only: per-machine, per-round replay budget after a worker failure (-1 = default, 0 = fail fast)")
 		workerM   = fs.Bool("worker", false, "internal: run as a cluster worker until stdin closes (used by -cluster local)")
 		batch     = fs.Int("batch", 0, "streaming batch size in edges (0 = default)")
 		quiet     = fs.Bool("q", false, "print only the summary line")
@@ -123,8 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *workerM {
 		return runWorker(stdout, stderr)
 	}
+	if *clusterTo == "" && *retries >= 0 {
+		fmt.Fprintln(stderr, "coreset: -max-retries requires -cluster (replay only exists in the cluster runtime)")
+		return 2
+	}
 	if *clusterTo != "" {
-		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *clusterTo, *quiet, *jsonOut, stdout, stderr)
+		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *quiet, *jsonOut, stdout, stderr)
 	}
 	if *streaming {
 		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, stdout, stderr)
@@ -149,6 +154,10 @@ func printRoundStats(stdout io.Writer, st *rnd.Stats, measured bool) {
 	for _, rs := range st.Rounds {
 		fmt.Fprintf(stdout, "  round %d: k=%d input=%d union=%d comm=%d bytes\n",
 			rs.Round, rs.K, rs.InputEdges, rs.UnionEdges, rs.TotalCommBytes)
+		if rs.Retries > 0 {
+			fmt.Fprintf(stdout, "    recovery: %d replay attempts, machines replayed %v\n",
+				rs.Retries, rs.ReplayedMachines)
+		}
 	}
 }
 
@@ -384,7 +393,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -402,7 +411,10 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 		defer closeSrc()
 	}
 	k = len(addrs) // one machine per worker address
-	cfg := cluster.Config{Workers: addrs, Seed: seed, BatchSize: batch}
+	if retries < 0 {
+		retries = cluster.DefaultMaxRetries // -1 means unset: replay on by default
+	}
+	cfg := cluster.Config{Workers: addrs, Seed: seed, BatchSize: batch, MaxRetries: retries}
 	ctx := context.Background()
 
 	switch task {
@@ -481,6 +493,10 @@ func printClusterStats(stdout io.Writer, st *cluster.Stats) {
 		st.TotalCommBytes, st.MaxMachineBytes, st.EstCommBytes)
 	fmt.Fprintf(stdout, "shard traffic: %d bytes to workers; throughput %.0f edges/sec (%.1f ms)\n",
 		st.ShardBytes, st.EdgesPerSec(), float64(st.Duration.Microseconds())/1000)
+	if st.Retries > 0 {
+		fmt.Fprintf(stdout, "recovery: %d replay attempts, machines replayed %v\n",
+			st.Retries, st.ReplayedMachines)
+	}
 }
 
 func printStreamStats(stdout io.Writer, st *stream.Stats) {
@@ -498,11 +514,11 @@ func openSource(in, genName string, n int, deg float64, seed uint64) (stream.Edg
 	if genName != "" {
 		switch genName {
 		case "gnp":
-			return stream.NewIterSource(n, gen.GNPIter(n, deg/float64(n), rng.New(seed))), nil, nil
+			return stream.NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, deg/float64(n), rng.New(seed)) }), nil, nil
 		case "star":
-			return stream.NewIterSource(n, gen.StarIter(n)), nil, nil
+			return stream.NewIterSource(n, func() gen.EdgeIter { return gen.StarIter(n) }), nil, nil
 		case "powerlaw":
-			return stream.NewIterSource(n, gen.PowerlawIter(n, 2.0, n/16+1, rng.New(seed))), nil, nil
+			return stream.NewIterSource(n, func() gen.EdgeIter { return gen.PowerlawIter(n, 2.0, n/16+1, rng.New(seed)) }), nil, nil
 		default:
 			return nil, nil, fmt.Errorf("unknown generator %q", genName)
 		}

@@ -62,6 +62,8 @@ func run(args []string, stderr *os.File) int {
 		cacheCap  = fs.Int("cache", 256, "result cache capacity (entries)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		clusterW  = fs.String("cluster", "", "comma-separated coresetworker addresses; enables jobs with mode 'cluster'")
+		spares    = fs.String("spares", "", "comma-separated standby coresetworker addresses round replay may substitute for failed fleet members")
+		retries   = fs.Int("max-retries", cluster.DefaultMaxRetries, "per-machine, per-round replay budget after a cluster worker failure (0 = fail fast)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,7 +73,7 @@ func run(args []string, stderr *os.File) int {
 	}
 	logger := log.New(stderr, "coresetd: ", log.LstdFlags)
 
-	var fleet []string
+	var fleet, spareFleet []string
 	if *clusterW != "" {
 		parsed, err := cluster.ParseWorkerList(*clusterW)
 		if err != nil {
@@ -80,12 +82,34 @@ func run(args []string, stderr *os.File) int {
 		}
 		fleet = parsed
 	}
+	if *spares != "" {
+		if len(fleet) == 0 {
+			logger.Printf("-spares requires -cluster")
+			return 2
+		}
+		parsed, err := cluster.ParseWorkerList(*spares)
+		if err != nil {
+			logger.Printf("-spares: %v", err)
+			return 2
+		}
+		spareFleet = parsed
+	}
+	if *retries < 0 {
+		logger.Printf("-max-retries must be >= 0 (got %d)", *retries)
+		return 2
+	}
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1 // service convention: negative disables replay
+	}
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxGraphs:      *maxGraphs,
-		CacheSize:      *cacheCap,
-		ClusterWorkers: fleet,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxGraphs:         *maxGraphs,
+		CacheSize:         *cacheCap,
+		ClusterWorkers:    fleet,
+		ClusterSpares:     spareFleet,
+		ClusterMaxRetries: maxRetries,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "http://127.0.0.1:8440", "coresetd base URL (-target service)")
 		target   = fs.String("target", "service", "what to load: service (coresetd HTTP) | cluster (coordinator+workers)")
 		clusterW = fs.String("cluster", "", "comma-separated coresetworker addresses (-target cluster)")
+		retries  = fs.Int("max-retries", -1, "per-machine, per-round replay budget after a worker failure (-target cluster; -1 = default, 0 = fail fast)")
 		genName  = fs.String("gen", "gnp", "graph generator: gnp | star | powerlaw")
 		n        = fs.Int("n", 20000, "vertices")
 		deg      = fs.Float64("deg", 8, "average degree (gnp)")
@@ -97,10 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w < 0 {
 			w = *conc
 		}
-		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *timeout, stdout, stderr)
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *retries, *timeout, stdout, stderr)
 	}
 	if *target != "service" {
 		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
+		return 2
+	}
+	if *retries >= 0 {
+		fmt.Fprintln(stderr, "coresetload: -max-retries requires -target cluster (replay only exists in the cluster runtime)")
 		return 2
 	}
 	if *warmup < 0 {
@@ -187,10 +192,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 // replays through the in-process streaming runtime so the two latency
 // distributions print side by side. Concurrent clients exercise the workers'
 // many-runs-at-once path.
-func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup int, timeout time.Duration, stdout, stderr io.Writer) int {
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup, maxRetries int, timeout time.Duration, stdout, stderr io.Writer) int {
 	if clusterW == "" {
 		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
 		return 2
+	}
+	if maxRetries < 0 {
+		maxRetries = cluster.DefaultMaxRetries // -1 means unset: replay on by default
 	}
 	addrs, err := cluster.ParseWorkerList(clusterW)
 	if err != nil {
@@ -211,25 +219,45 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 
 	p := edcs.ParamsForBeta(beta)
 	rcfg := rounds.Config{K: len(addrs), Rounds: roundCap, Seed: 0, Params: p}
-	runOne := func(mode string, seed uint64) (time.Duration, error) {
+	ccfgFor := func(seed uint64) cluster.Config {
+		return cluster.Config{Workers: addrs, Seed: seed, MaxRetries: maxRetries}
+	}
+	runOne := func(mode string, seed uint64) (time.Duration, int, error) {
 		src, err := spec.Source()
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		t0 := time.Now()
+		retried := 0
 		switch {
 		case mode == "cluster" && task == "vc":
-			_, _, err = cluster.VertexCover(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
+			var st *cluster.Stats
+			_, st, err = cluster.VertexCover(ctx, src, ccfgFor(seed))
+			if st != nil {
+				retried = st.Retries
+			}
 		case mode == "cluster" && task == "edcs" && roundCap >= 1:
 			cfg := rcfg
 			cfg.Seed = seed
-			_, _, err = rounds.Cluster(ctx, src, cluster.Config{Workers: addrs, Seed: seed}, cfg)
+			var st *rounds.Stats
+			_, st, err = rounds.Cluster(ctx, src, ccfgFor(seed), cfg)
+			if st != nil {
+				retried = st.Retries
+			}
 		case mode == "cluster" && task == "edcs":
-			_, _, err = cluster.EDCS(ctx, src, cluster.Config{Workers: addrs, Seed: seed}, p)
+			var st *cluster.Stats
+			_, st, err = cluster.EDCS(ctx, src, ccfgFor(seed), p)
+			if st != nil {
+				retried = st.Retries
+			}
 		case mode == "cluster":
-			_, _, err = cluster.Matching(ctx, src, cluster.Config{Workers: addrs, Seed: seed})
+			var st *cluster.Stats
+			_, st, err = cluster.Matching(ctx, src, ccfgFor(seed))
+			if st != nil {
+				retried = st.Retries
+			}
 		case task == "vc":
 			_, _, err = stream.VertexCoverContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
 		case task == "edcs" && roundCap >= 1:
@@ -241,14 +269,15 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		default:
 			_, _, err = stream.MatchingContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
 		}
-		return time.Since(t0), err
+		return time.Since(t0), retried, err
 	}
 
-	fire := func(mode string) ([]time.Duration, int, time.Duration) {
+	fire := func(mode string) ([]time.Duration, int, int, time.Duration) {
 		var (
 			mu        sync.Mutex
 			latencies []time.Duration
 			failures  int
+			retries   int
 		)
 		start := time.Now()
 		next := make(chan int)
@@ -264,8 +293,9 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					d, err := runOne(mode, uint64(i%seeds))
+					d, r, err := runOne(mode, uint64(i%seeds))
 					mu.Lock()
+					retries += r
 					if err != nil {
 						failures++
 						fmt.Fprintf(stderr, "coresetload: %s job %d: %v\n", mode, i, err)
@@ -277,10 +307,10 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 			}()
 		}
 		wg.Wait()
-		return latencies, failures, time.Since(start)
+		return latencies, failures, retries, time.Since(start)
 	}
 
-	report := func(label string, latencies []time.Duration, failures int, wall time.Duration) bool {
+	report := func(label string, latencies []time.Duration, failures, retries int, wall time.Duration) bool {
 		sum, ok := summarize(latencies, warmup)
 		if !ok {
 			fmt.Fprintf(stderr, "coresetload: no %s job succeeded\n", label)
@@ -290,13 +320,16 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 			label+":", len(latencies), wall.Seconds(), float64(len(latencies))/wall.Seconds(), failures, sum.Excluded,
 			sum.P50.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
 			sum.P99.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
+		if retries > 0 {
+			fmt.Fprintf(stdout, "%-10s %d worker-failure replay attempts absorbed across jobs\n", label+":", retries)
+		}
 		return failures == 0
 	}
 
-	cl, cf, cw := fire("cluster")
-	sl, sf, sw := fire("in-process")
-	okC := report("cluster", cl, cf, cw)
-	okS := report("in-process", sl, sf, sw)
+	cl, cf, cr, cw := fire("cluster")
+	sl, sf, sr, sw := fire("in-process")
+	okC := report("cluster", cl, cf, cr, cw)
+	okS := report("in-process", sl, sf, sr, sw)
 	if !okC || !okS {
 		return 1
 	}

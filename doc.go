@@ -58,10 +58,21 @@
 // in-process pipelines for the same (graph, seed, k) — the seed-parity
 // tests in internal/cluster assert deep-equal coresets — while
 // TotalCommBytes/MaxMachineBytes in the run report are measured off the
-// sockets, with the simulated estimate alongside (EstCommBytes). Worker
-// crashes surface as typed *cluster.WorkerError values at the coordinator;
-// cancellation force-closes connections so nothing hangs; workers drain
-// gracefully on shutdown. Experiment E20 tabulates simulated vs measured
+// sockets, with the simulated estimate alongside (EstCommBytes). Failures
+// surface as typed *cluster.WorkerError values carrying a FailureKind
+// taxonomy, and the retryable kinds — dial refused, connection drop, a
+// frame stalled past Config.IOTimeout — do not abort the run: because the
+// hash sharding is seeded, any machine's shard is deterministically
+// recomputable, so the coordinator re-dials the lost worker (or promotes a
+// Config.Spares standby) under capped exponential backoff and replays only
+// the current round against it, bit-identical to the undisturbed run (the
+// fault-injection tests in internal/cluster and the SIGKILL chaos drill in
+// cmd/coreset pin this). An exhausted Config.MaxRetries budget fails the
+// run with a terminal error wrapping ErrRetriesExhausted, handshake and
+// protocol errors are never retried, concurrent secondary failures join
+// behind the causally-first one via errors.Join, cancellation force-closes
+// connections so nothing hangs, and workers drain gracefully on shutdown.
+// Experiment E20 tabulates simulated vs measured
 // communication as n and k scale, and BenchmarkClusterVsStream (baseline in
 // BENCH_cluster.json) prices the wire against the in-process runtime.
 //

@@ -33,7 +33,7 @@ func main() {
 	defer shutdown()
 	fmt.Printf("started %d workers: %v\n", k, addrs)
 
-	src := stream.NewIterSource(n, gen.GNPIter(n, deg/n, rng.New(seed)))
+	src := stream.NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, deg/n, rng.New(seed)) })
 	m, st, err := cluster.Matching(context.Background(), src, cluster.Config{Workers: addrs, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
@@ -42,7 +42,7 @@ func main() {
 	fmt.Printf("            measured comm %d B (max machine %d B), estimate %d B, shard traffic %d B\n",
 		st.TotalCommBytes, st.MaxMachineBytes, st.EstCommBytes, st.ShardBytes)
 
-	src = stream.NewIterSource(n, gen.GNPIter(n, deg/n, rng.New(seed)))
+	src = stream.NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, deg/n, rng.New(seed)) })
 	sm, sst, err := stream.Matching(src, stream.Config{K: k, Seed: seed})
 	if err != nil {
 		log.Fatal(err)

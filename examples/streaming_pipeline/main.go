@@ -35,7 +35,7 @@ func main() {
 	fmt.Printf("input: streaming G(n=%d, p=%.2g) — never materialized — into k=%d machines\n\n", n, p, k)
 
 	// --- Theorem 1: matching coresets over the stream.
-	src := stream.NewIterSource(n, gen.GNPIter(n, p, rng.New(seed)))
+	src := stream.NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, p, rng.New(seed)) })
 	m, st, err := stream.Matching(src, stream.Config{K: k, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
@@ -58,7 +58,7 @@ func main() {
 	// machine fixes the star's center the moment its share of the center's
 	// edges crosses the threshold, then discards the rest of the stream.
 	fmt.Printf("input: streaming star K_{1,%d} into k=%d machines\n\n", n-1, k)
-	src = stream.NewIterSource(n, gen.StarIter(n))
+	src = stream.NewIterSource(n, func() gen.EdgeIter { return gen.StarIter(n) })
 	cover, st2, err := stream.VertexCover(src, stream.Config{K: k, Seed: seed})
 	if err != nil {
 		log.Fatal(err)

@@ -24,8 +24,15 @@
 // and a blocking TCP write path, so a slow worker throttles only its own
 // shard stream. Cancellation is cooperative at batch granularity on the
 // coordinator and forces connections closed, which workers observe as a
-// dropped run; a worker crash mid-shard surfaces as a typed *WorkerError at
-// the coordinator with no hang and no goroutine leak.
+// dropped run; a worker crash or stall mid-shard surfaces as a typed
+// *WorkerError at the coordinator — every frame exchange is bounded by
+// Config.IOTimeout — with no hang and no goroutine leak. With
+// Config.MaxRetries > 0 and a restartable source, a retryable failure
+// (dial, connection drop, deadline) is not fatal: the coordinator re-dials
+// the worker (or a Config.Spares standby) with capped exponential backoff
+// and replays only the current round against it, reproducing the machine's
+// exact shard from the seeded hash (retry.go), so a lost worker costs one
+// round, not the run.
 //
 // Deployment shapes: cmd/coresetworker is the resident worker binary (serves
 // many runs concurrently, drains gracefully); cmd/coreset -cluster
@@ -35,6 +42,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -46,6 +54,24 @@ const DefaultBatchSize = 1024
 
 // DefaultDialTimeout bounds each worker connection attempt.
 const DefaultDialTimeout = 5 * time.Second
+
+// DefaultIOTimeout bounds each frame read/write on a worker connection, so
+// a worker that accepts the connection and then stalls surfaces as a
+// retryable *WorkerError instead of hanging the run until caller
+// cancellation.
+const DefaultIOTimeout = 30 * time.Second
+
+// DefaultMaxRetries is the replay budget the CLI surfaces enable by
+// default: one retry against the machine's own address plus one against a
+// spare. The library default (Config zero value) remains fail-fast.
+const DefaultMaxRetries = 2
+
+// DefaultRetryBackoff seeds the capped exponential backoff between replay
+// waves.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// maxRetryBackoff caps the exponential backoff growth.
+const maxRetryBackoff = 5 * time.Second
 
 // Config parameterizes a cluster run.
 type Config struct {
@@ -61,6 +87,26 @@ type Config struct {
 	// DialTimeout bounds each worker connection attempt (default
 	// DefaultDialTimeout).
 	DialTimeout time.Duration
+	// IOTimeout bounds each frame read/write on a worker connection
+	// (default DefaultIOTimeout; negative disables the deadlines). A frame
+	// that misses the deadline fails the machine with a retryable
+	// *WorkerError of KindDeadline.
+	IOTimeout time.Duration
+	// MaxRetries is the replay budget per machine per round: how many times
+	// a machine whose failure is Retryable may be re-dialed and its current
+	// round replayed before the run fails with ErrRetriesExhausted. 0 (the
+	// zero value) disables replay — any worker failure fails the run, the
+	// pre-replay behavior. Replay additionally requires the round input to
+	// be a stream.Restartable source; otherwise failures stay fatal.
+	MaxRetries int
+	// RetryBackoff is the delay before the first replay wave, doubling per
+	// wave up to a cap (default DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Spares lists standby worker addresses. When a machine's replay
+	// attempt fails, its next attempt consumes a spare address in place of
+	// the failed one — so a worker whose process is gone for good costs one
+	// round, not the run.
+	Spares []string
 }
 
 func (c Config) batchSize() int {
@@ -77,17 +123,99 @@ func (c Config) dialTimeout() time.Duration {
 	return DefaultDialTimeout
 }
 
+func (c Config) ioTimeout() time.Duration {
+	if c.IOTimeout < 0 {
+		return 0
+	}
+	if c.IOTimeout == 0 {
+		return DefaultIOTimeout
+	}
+	return c.IOTimeout
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// FailureKind classifies what broke between the coordinator and a worker,
+// and drives the retry decision: transport failures (dial, connection drop,
+// stalled frame) are retryable because replaying the round is deterministic
+// — the seeded hash re-creates the machine's exact shard — while handshake
+// and protocol failures are not, because a deterministic replay would fail
+// identically.
+type FailureKind uint8
+
+const (
+	// KindUnknown is the zero kind: unclassified, never retryable.
+	KindUnknown FailureKind = iota
+	// KindDial: the worker connection could not be established (connection
+	// refused, unreachable, dial timeout).
+	KindDial
+	// KindConn: an established connection dropped mid-conversation (reset,
+	// unexpected EOF, closed).
+	KindConn
+	// KindDeadline: a frame read or write exceeded Config.IOTimeout — the
+	// peer accepted the connection but stalled.
+	KindDeadline
+	// KindHandshake: the worker rejected the HELLO (ERROR frame, version or
+	// parameter mismatch) or answered it with an unexpected frame.
+	KindHandshake
+	// KindProtocol: a corrupt or unexpected frame after the handshake, or a
+	// remote ERROR mid-run.
+	KindProtocol
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case KindDial:
+		return "dial"
+	case KindConn:
+		return "conn"
+	case KindDeadline:
+		return "deadline"
+	case KindHandshake:
+		return "handshake"
+	case KindProtocol:
+		return "protocol"
+	default:
+		return "unknown"
+	}
+}
+
+// retryable reports whether failures of this kind may be replayed.
+func (k FailureKind) retryable() bool {
+	return k == KindDial || k == KindConn || k == KindDeadline
+}
+
+// ErrRetriesExhausted tags the terminal, non-retryable *WorkerError a run
+// fails with when a machine's replay budget (Config.MaxRetries) runs out.
+var ErrRetriesExhausted = errors.New("cluster: retries exhausted")
+
 // WorkerError is the typed error for a machine that failed mid-run: dial
-// failure, connection drop (worker crash), protocol violation, or an ERROR
-// frame the worker sent before closing. Err carries the cause.
+// failure, connection drop (worker crash), stalled frame, protocol
+// violation, or an ERROR frame the worker sent before closing. Err carries
+// the cause; Kind classifies it and Retryable reports whether a replay
+// could recover it (a run configured with MaxRetries > 0 only surfaces a
+// retryable WorkerError once its replay budget is spent, wrapped in
+// ErrRetriesExhausted with Retryable false). When several workers fail
+// concurrently the run error joins them (errors.Join) with the causally
+// first failure leading, so errors.As finds the primary.
 type WorkerError struct {
-	Machine int    // machine index within the run
-	Addr    string // worker address
-	Err     error
+	Machine   int         // machine index within the run
+	Addr      string      // worker address
+	Kind      FailureKind // what broke
+	Retryable bool        // whether round replay may recover it
+	Err       error
 }
 
 func (e *WorkerError) Error() string {
-	return fmt.Sprintf("cluster: worker %d (%s): %v", e.Machine, e.Addr, e.Err)
+	if e.Kind == KindUnknown {
+		return fmt.Sprintf("cluster: worker %d (%s): %v", e.Machine, e.Addr, e.Err)
+	}
+	return fmt.Sprintf("cluster: worker %d (%s) [%s]: %v", e.Machine, e.Addr, e.Kind, e.Err)
 }
 
 func (e *WorkerError) Unwrap() error { return e.Err }
@@ -122,8 +250,15 @@ type Stats struct {
 	EstCommBytes       int
 	EstMaxMachineBytes int
 	// ShardBytes is the measured coordinator-to-worker traffic: HELLO, SHARD
-	// and EOS frames summed over all workers.
+	// and EOS frames summed over all workers — including the traffic of
+	// replayed rounds, so retried runs account for every byte actually sent.
 	ShardBytes int
+
+	// Retries counts replay attempts this run made after worker failures
+	// (0 on an undisturbed run); ReplayedMachines lists the machines whose
+	// round was successfully replayed, in ascending order.
+	Retries          int
+	ReplayedMachines []int
 
 	CompositionEdges int
 	Duration         time.Duration
@@ -159,6 +294,8 @@ func (s *Stats) Report(task string, seed uint64, solutionSize int) *graph.RunRep
 		EstCommBytes:       s.EstCommBytes,
 		EstMaxMachineBytes: s.EstMaxMachineBytes,
 		ShardBytes:         s.ShardBytes,
+		Retries:            s.Retries,
+		ReplayedMachines:   s.ReplayedMachines,
 		CompositionEdges:   s.CompositionEdges,
 		Batches:            s.Batches,
 		DurationMS:         float64(s.Duration.Microseconds()) / 1000,

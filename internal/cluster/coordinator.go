@@ -103,12 +103,16 @@ type workerResult struct {
 // the final vertex count is known, CORESET back). The close(nReady) edge
 // publishes nFinal to the connection goroutines exactly as in stream.run.
 //
-// Failure is prompt in every direction: a worker error cancels the internal
-// context (stopping the sharder at the next batch boundary) and is returned
-// as a typed *WorkerError; caller cancellation force-closes the connections,
-// so no goroutine can stay blocked on the network. Every exit path closes
-// the batch channels and waits for the connection goroutines, so run never
-// leaks.
+// Failure handling depends on the failure: a retryable worker failure
+// (dial, connection drop, stalled frame) in a run configured for replay
+// (MaxRetries > 0 with a stream.Restartable source) lets the sharder and
+// the healthy machines finish, then replays only the failed machines
+// (retry.go); anything else cancels the internal context (stopping the
+// sharder at the next batch boundary) and is returned as a typed
+// *WorkerError — concurrent real failures joined behind the causally first
+// one. Caller cancellation force-closes the connections, so no goroutine
+// can stay blocked on the network. Every exit path closes the batch
+// channels and waits for the connection goroutines, so run never leaks.
 // ep carries the EDCS degree constraints for taskEDCS (zero otherwise).
 func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep edcs.Params) ([]stream.Summary, *Stats, error) {
 	if src == nil {
@@ -124,9 +128,12 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 	if known {
 		nHint = src.NumVertices()
 	}
+	_, restartable := src.(stream.Restartable)
+	replayable := cfg.MaxRetries > 0 && restartable
+	iot := cfg.ioTimeout()
 
 	// runCtx is the run's internal lifetime: canceled by the caller's ctx or
-	// by the first failing worker, whichever comes first.
+	// by the first fatal worker failure, whichever comes first.
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
@@ -136,20 +143,18 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 		results = make(chan workerResult, k)
 		wg      sync.WaitGroup
 	)
-	// rootErr is the causally-first worker failure. Once one worker fails,
-	// cancelRun force-closes every other connection, so the secondary I/O
-	// errors that follow must not mask the machine that actually broke.
-	// noteFailure always runs before that cancelRun, which makes "first to
-	// record" exactly "first to fail".
+	// fails collects worker failures in causal order: fails[0] is the
+	// machine that actually broke first. On a fatal failure cancelRun
+	// force-closes every other connection, so the secondary I/O errors that
+	// follow must not mask the primary; noteFailure always runs before that
+	// cancelRun, which makes "first to record" exactly "first to fail".
 	var (
-		failMu  sync.Mutex
-		rootErr error
+		failMu sync.Mutex
+		fails  []*WorkerError
 	)
-	noteFailure := func(err error) {
+	noteFailure := func(we *WorkerError) {
 		failMu.Lock()
-		if rootErr == nil {
-			rootErr = err
-		}
+		fails = append(fails, we)
 		failMu.Unlock()
 	}
 	chans := make([]chan []graph.Edge, k)
@@ -162,26 +167,31 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			res := workerResult{machine: machine}
 			defer func() {
 				if res.err != nil {
-					// Stop the sharder, then discard whatever it already
-					// queued for this machine so it can never block on a dead
-					// connection. The sharder owns close(chans[machine]), so
-					// this drain always terminates.
-					cancelRun()
+					// A retryable failure in a replayable run must NOT stop
+					// the sharder: the healthy machines finish their round
+					// and only this machine is replayed. Anything else stops
+					// the run. Either way, discard whatever the sharder
+					// queued for this machine so it can never block on a
+					// dead connection (the sharder owns close(chans[machine]),
+					// so this drain always terminates).
+					if we, ok := res.err.(*WorkerError); !ok || !we.Retryable || !replayable {
+						cancelRun()
+					}
 					for range chans[machine] {
 					}
 				}
 				results <- res
 			}()
 			addr := cfg.Workers[machine]
-			fail := func(err error) {
-				we := &WorkerError{Machine: machine, Addr: addr, Err: err}
+			fail := func(kind FailureKind, err error) {
+				we := &WorkerError{Machine: machine, Addr: addr, Kind: kind, Retryable: kind.retryable(), Err: err}
 				res.err = we
 				noteFailure(we)
 			}
 
 			conn, err := dialer.DialContext(runCtx, "tcp", addr)
 			if err != nil {
-				fail(err)
+				fail(KindDial, err)
 				return
 			}
 			defer conn.Close()
@@ -191,17 +201,17 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			defer stopWatch()
 
 			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep}
-			n, err := writeFrame(conn, frameHello, encodeHello(h))
+			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			res.sent += n
 			if err != nil {
-				fail(fmt.Errorf("handshake: %w", err))
+				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
 			}
-			if err := readAck(conn); err != nil {
-				fail(err)
+			if kind, err := readAck(conn, iot); err != nil {
+				fail(kind, err)
 				return
 			}
-			roundTrip(runCtx, conn, task, chans[machine], nReady, &nFinal, &res, fail)
+			roundTrip(runCtx, conn, task, iot, chans[machine], nReady, &nFinal, &res, fail)
 		}(i)
 	}
 
@@ -233,20 +243,39 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 		byMachine[r.machine] = r
 	}
 	// Error precedence: the caller's cancellation, then a source error, then
-	// the causally-first worker failure (never one of the secondary errors
-	// its cancellation induced on the other connections).
+	// the worker failures — replayed when every failure is retryable and the
+	// run allows it, otherwise joined behind the causally-first one (never
+	// one of the secondary errors its cancellation induced on the other
+	// connections).
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	if srcErr != nil {
 		return nil, nil, srcErr
 	}
-	if rootErr != nil {
-		return nil, nil, rootErr
-	}
-	for _, r := range byMachine {
-		if r.err != nil {
-			return nil, nil, r.err
+	var nRetries int
+	var replayedMachines []int
+	if len(fails) > 0 {
+		if !replayable || !allRetryable(fails) || aborted {
+			return nil, nil, joinFailures(fails)
+		}
+		failed := make(map[int]*WorkerError, len(fails))
+		for _, we := range fails {
+			failed[we.Machine] = we
+		}
+		addrs := append([]string(nil), cfg.Workers...)
+		spares := append([]string(nil), cfg.Spares...)
+		rp := &replayer{
+			cfg: cfg, task: task, seed: cfg.Seed, k: k, nFinal: nFinal,
+			addrs: addrs, spares: &spares,
+			helloFor: func(m int) hello {
+				return hello{version: protocolVersion, task: task, machine: m, k: k, known: known, n: nHint, edcs: ep}
+			},
+		}
+		var err error
+		nRetries, replayedMachines, err = rp.replay(ctx, src, byMachine, failed)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	if aborted { // canceled with no surviving cause: report it as such
@@ -255,13 +284,15 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 
 	sums := make([]stream.Summary, k)
 	st := &Stats{
-		K:           k,
-		N:           nFinal,
-		EdgesTotal:  total,
-		Batches:     batches,
-		PartEdges:   make([]int, k),
-		StoredEdges: make([]int, k),
-		Live:        make([]int, k),
+		K:                k,
+		N:                nFinal,
+		EdgesTotal:       total,
+		Batches:          batches,
+		PartEdges:        make([]int, k),
+		StoredEdges:      make([]int, k),
+		Live:             make([]int, k),
+		Retries:          nRetries,
+		ReplayedMachines: replayedMachines,
 	}
 	for _, r := range byMachine {
 		sums[r.machine] = r.sum
@@ -282,20 +313,22 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 	return sums, st, nil
 }
 
-// readAck consumes the worker's handshake reply: an ACK, or the ERROR frame
-// it substituted.
-func readAck(conn net.Conn) error {
-	typ, payload, _, err := readFrame(conn)
+// readAck consumes the worker's handshake reply — an ACK, or the ERROR
+// frame it substituted — under the per-frame deadline, and classifies the
+// failure: transport errors are retryable kinds, a rejection or unexpected
+// frame is KindHandshake (replaying would fail identically).
+func readAck(conn net.Conn, iot time.Duration) (FailureKind, error) {
+	typ, payload, _, err := readFrameDeadline(conn, iot)
 	if err != nil {
-		return fmt.Errorf("handshake: %w", err)
+		return ioKind(err), fmt.Errorf("handshake: %w", err)
 	}
 	switch typ {
 	case frameAck:
-		return nil
+		return KindUnknown, nil
 	case frameError:
-		return fmt.Errorf("remote: %s", payload)
+		return KindHandshake, fmt.Errorf("remote: %s", payload)
 	default:
-		return fmt.Errorf("handshake: unexpected frame 0x%02x", typ)
+		return KindHandshake, fmt.Errorf("handshake: unexpected frame 0x%02x", typ)
 	}
 }
 
@@ -304,17 +337,19 @@ func readAck(conn net.Conn) error {
 // channel (with TCP backpressure), EOS once the sharder publishes the final
 // vertex count through the nReady edge, then the CORESET reply. The decoded
 // summary and the measured byte counts land in res; failures go through
-// fail, which wraps them as *WorkerError and records causal order. On a
-// shard-stream failure the caller's deferred drain consumes the remaining
-// batches.
-func roundTrip(runCtx context.Context, conn net.Conn, task byte, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(error)) {
+// fail, which wraps them as *WorkerError with their FailureKind and records
+// causal order. Every frame exchange runs under the per-frame IOTimeout, so
+// a stalled worker surfaces as a retryable KindDeadline failure rather than
+// a hang. On a shard-stream failure the caller's deferred drain consumes
+// the remaining batches.
+func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Duration, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(FailureKind, error)) {
 	var buf []byte
 	for batch := range batches {
 		buf = graph.AppendEdgeBatch(buf[:0], batch)
-		n, err := writeFrame(conn, frameShard, buf)
+		n, err := writeFrameDeadline(conn, iot, frameShard, buf)
 		res.sent += n
 		if err != nil {
-			fail(fmt.Errorf("shard stream: %w", err))
+			fail(ioKind(err), fmt.Errorf("shard stream: %w", err))
 			return
 		}
 	}
@@ -324,30 +359,30 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, batches <-chan 
 		res.err = runCtx.Err()
 		return
 	}
-	n, err := writeFrame(conn, frameEOS, binary.AppendUvarint(nil, uint64(*nFinal)))
+	n, err := writeFrameDeadline(conn, iot, frameEOS, binary.AppendUvarint(nil, uint64(*nFinal)))
 	res.sent += n
 	if err != nil {
-		fail(fmt.Errorf("EOS: %w", err))
+		fail(ioKind(err), fmt.Errorf("EOS: %w", err))
 		return
 	}
 
-	typ, payload, frameLen, err := readFrame(conn)
+	typ, payload, frameLen, err := readFrameDeadline(conn, iot)
 	if err != nil {
-		fail(fmt.Errorf("awaiting CORESET: %w", err))
+		fail(ioKind(err), fmt.Errorf("awaiting CORESET: %w", err))
 		return
 	}
 	switch typ {
 	case frameCoreset:
 		sum, err := decodeSummary(task, payload)
 		if err != nil {
-			fail(err)
+			fail(KindProtocol, err)
 			return
 		}
 		res.sum, res.wire = sum, frameLen
 	case frameError:
-		fail(fmt.Errorf("remote: %s", payload))
+		fail(KindProtocol, fmt.Errorf("remote: %s", payload))
 	default:
-		fail(fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
+		fail(KindProtocol, fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
 	}
 }
 

@@ -82,15 +82,38 @@ func SpawnLocal(bin string, args []string, k int, stderr io.Writer) (*LocalWorke
 // Addrs returns the workers' listen addresses, in spawn order.
 func (l *LocalWorkers) Addrs() []string { return append([]string(nil), l.addrs...) }
 
+// Kill SIGKILLs worker i — no drain, no warning, mid-frame if a run is in
+// flight — and reaps the process. It exists for fault-injection: chaos tests
+// kill a fleet member mid-round and assert the coordinator replays it. The
+// worker stays in Addrs (its address now refuses dials) and Close skips it.
+func (l *LocalWorkers) Kill(i int) error {
+	if i < 0 || i >= len(l.procs) || l.procs[i] == nil {
+		return fmt.Errorf("cluster: Kill(%d): no such worker", i)
+	}
+	cmd := l.procs[i]
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = cmd.Wait() // reap; the error is the SIGKILL we just sent
+	_ = l.stdins[i].Close()
+	l.procs[i], l.stdins[i] = nil, nil
+	return nil
+}
+
 // Close shuts the workers down: stdin pipes are closed (the workers' exit
 // signal), each process gets a drain window to exit cleanly, and anything
 // still running is killed. The first wait error, if any, is returned.
 func (l *LocalWorkers) Close() error {
 	for _, in := range l.stdins {
-		in.Close()
+		if in != nil {
+			in.Close()
+		}
 	}
 	var firstErr error
 	for _, cmd := range l.procs {
+		if cmd == nil {
+			continue // already reaped by Kill
+		}
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
 		select {

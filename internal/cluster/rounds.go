@@ -32,17 +32,26 @@ import (
 // of the run — workers' ACK frames are not counted, matching the
 // single-round runtime's accounting).
 //
-// A session is single-flight: Round may not be called concurrently. Any
-// round error (worker failure, source error, cancellation) force-closes the
-// connections and poisons the session; Close is the only valid call after
-// that.
+// A session is single-flight: Round may not be called concurrently. With
+// Config.MaxRetries > 0 and a restartable round input, a retryable worker
+// failure mid-round is recovered in place: the broken connection is
+// retired, the worker (or a Config.Spares standby) is re-dialed with a
+// fresh HELLO carrying the rounds still owed, and only the current round is
+// replayed — the replacement connection then serves the remaining rounds.
+// Any unrecovered round error (non-retryable failure, exhausted retries,
+// source error, cancellation) poisons the session; Close is the only valid
+// call after that.
 type EDCSSession struct {
 	cfg        Config
 	k          int // fleet size = round-0 machine count
+	p          edcs.Params
+	nHint      int
 	roundCap   int
 	roundsRun  int
 	helloBytes int // HELLO traffic, folded into the first round's ShardBytes
 	conns      []net.Conn
+	addrs      []string // current address per machine; replay rotates in spares
+	spares     []string
 	broken     bool
 	closed     bool
 }
@@ -66,8 +75,14 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 	if roundCap < 1 || roundCap > maxWireRounds {
 		return nil, fmt.Errorf("cluster: round cap %d outside [1, %d]", roundCap, maxWireRounds)
 	}
-	s := &EDCSSession{cfg: cfg, k: k, roundCap: roundCap, conns: make([]net.Conn, k)}
+	s := &EDCSSession{
+		cfg: cfg, k: k, p: p, nHint: nHint, roundCap: roundCap,
+		conns:  make([]net.Conn, k),
+		addrs:  append([]string(nil), cfg.Workers...),
+		spares: append([]string(nil), cfg.Spares...),
+	}
 	dialer := &net.Dialer{Timeout: cfg.dialTimeout()}
+	iot := cfg.ioTimeout()
 
 	var (
 		wg   sync.WaitGroup
@@ -79,12 +94,12 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 		go func(machine int) {
 			defer wg.Done()
 			addr := cfg.Workers[machine]
-			fail := func(err error) {
-				errs[machine] = &WorkerError{Machine: machine, Addr: addr, Err: err}
+			fail := func(kind FailureKind, err error) {
+				errs[machine] = &WorkerError{Machine: machine, Addr: addr, Kind: kind, Retryable: kind.retryable(), Err: err}
 			}
 			conn, err := dialer.DialContext(ctx, "tcp", addr)
 			if err != nil {
-				fail(err)
+				fail(KindDial, err)
 				return
 			}
 			s.conns[machine] = conn
@@ -95,14 +110,14 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 				machine: machine, k: k, known: nHint > 0, n: nHint,
 				edcs: p, rounds: roundCap,
 			}
-			n, err := writeFrame(conn, frameHello, encodeHello(h))
+			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			sent[machine] = n
 			if err != nil {
-				fail(fmt.Errorf("handshake: %w", err))
+				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
 			}
-			if err := readAck(conn); err != nil {
-				fail(err)
+			if kind, err := readAck(conn, iot); err != nil {
+				fail(kind, err)
 			}
 		}(i)
 	}
@@ -145,6 +160,10 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 	}
 	start := time.Now()
 
+	_, restartable := src.(stream.Restartable)
+	replayable := s.cfg.MaxRetries > 0 && restartable
+	iot := s.cfg.ioTimeout()
+
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
@@ -155,14 +174,12 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 		wg      sync.WaitGroup
 	)
 	var (
-		failMu  sync.Mutex
-		rootErr error
+		failMu sync.Mutex
+		fails  []*WorkerError // causal order; fails[0] is the primary
 	)
-	noteFailure := func(err error) {
+	noteFailure := func(we *WorkerError) {
 		failMu.Lock()
-		if rootErr == nil {
-			rootErr = err
-		}
+		fails = append(fails, we)
 		failMu.Unlock()
 	}
 
@@ -177,24 +194,28 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 			res := workerResult{machine: machine}
 			defer func() {
 				if res.err != nil {
-					// Stop the sharder, then discard whatever it already
-					// queued for this machine (the sharder owns the close, so
-					// the drain terminates).
-					cancelRun()
+					// As in run(): a retryable failure in a replayable round
+					// leaves the sharder and the healthy machines running —
+					// only this machine will be replayed. Either way the
+					// drain below discards this machine's queued batches
+					// (the sharder owns the close, so the drain terminates).
+					if we, ok := res.err.(*WorkerError); !ok || !we.Retryable || !replayable {
+						cancelRun()
+					}
 					for range chans[machine] {
 					}
 				}
 				results <- res
 			}()
 			conn := s.conns[machine]
-			fail := func(err error) {
-				we := &WorkerError{Machine: machine, Addr: s.cfg.Workers[machine], Err: err}
+			fail := func(kind FailureKind, err error) {
+				we := &WorkerError{Machine: machine, Addr: s.addrs[machine], Kind: kind, Retryable: kind.retryable(), Err: err}
 				res.err = we
 				noteFailure(we)
 			}
 			stopWatch := closeOnCancel(runCtx, conn)
 			defer stopWatch()
-			roundTrip(runCtx, conn, taskEDCSRounds, chans[machine], nReady, &nFinal, &res, fail)
+			roundTrip(runCtx, conn, taskEDCSRounds, iot, chans[machine], nReady, &nFinal, &res, fail)
 		}(i)
 	}
 
@@ -219,7 +240,10 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 	for r := range results {
 		byMachine[r.machine] = r
 	}
-	// Error precedence mirrors run(); every error path leaves connections
+	// Error precedence mirrors run(): caller cancellation, source error,
+	// then worker failures — replayed in place when every failure is
+	// retryable and the session allows it, otherwise joined behind the
+	// causally-first one. An unrecovered error leaves connections
 	// force-closed or mid-frame, so the session is done for.
 	failSession := func(err error) ([]stream.Summary, *Stats, error) {
 		s.broken = true
@@ -231,12 +255,41 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 	if srcErr != nil {
 		return failSession(srcErr)
 	}
-	if rootErr != nil {
-		return failSession(rootErr)
-	}
-	for _, r := range byMachine {
-		if r.err != nil {
-			return failSession(r.err)
+	var nRetries int
+	var replayedMachines []int
+	if len(fails) > 0 {
+		if !replayable || !allRetryable(fails) || aborted {
+			return failSession(joinFailures(fails))
+		}
+		failed := make(map[int]*WorkerError, len(fails))
+		for _, we := range fails {
+			failed[we.Machine] = we
+		}
+		rp := &replayer{
+			cfg: s.cfg, task: taskEDCSRounds, seed: seed, k: k, nFinal: nFinal,
+			addrs: s.addrs, spares: &s.spares,
+			helloFor: func(m int) hello {
+				// The replacement connection owes the current round plus
+				// every round after it: shrink the cap so the worker's
+				// bookkeeping matches the coordinator's.
+				return hello{
+					version: protocolVersion, task: taskEDCSRounds,
+					machine: m, k: s.k, known: s.nHint > 0, n: s.nHint,
+					edcs: s.p, rounds: s.roundCap - s.roundsRun,
+				}
+			},
+			retire: func(m int) {
+				if c := s.conns[m]; c != nil {
+					c.Close()
+					s.conns[m] = nil
+				}
+			},
+			keep: func(m int, conn net.Conn) { s.conns[m] = conn },
+		}
+		var err error
+		nRetries, replayedMachines, err = rp.replay(ctx, src, byMachine, failed)
+		if err != nil {
+			return failSession(err)
 		}
 	}
 	if aborted { // canceled with no surviving cause: report it as such
@@ -245,13 +298,15 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 
 	sums := make([]stream.Summary, k)
 	st := &Stats{
-		K:           k,
-		N:           nFinal,
-		EdgesTotal:  total,
-		Batches:     batches,
-		PartEdges:   make([]int, k),
-		StoredEdges: make([]int, k),
-		Live:        make([]int, k),
+		K:                k,
+		N:                nFinal,
+		EdgesTotal:       total,
+		Batches:          batches,
+		PartEdges:        make([]int, k),
+		StoredEdges:      make([]int, k),
+		Live:             make([]int, k),
+		Retries:          nRetries,
+		ReplayedMachines: replayedMachines,
 	}
 	if s.roundsRun == 0 {
 		st.ShardBytes += s.helloBytes
@@ -282,7 +337,11 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 func (s *EDCSSession) RoundsRun() int { return s.roundsRun }
 
 // Close ends the run: the connections are closed, which workers waiting at
-// a round boundary treat as a clean end. Safe to call multiple times.
+// a round boundary treat as a clean end. It is idempotent — the second and
+// later calls return nil — and after a mid-round failure it never masks the
+// round's error with teardown noise: a poisoned session's connections are
+// already force-closed or mid-frame, so their close errors are expected and
+// suppressed, as are double-close artifacts on any path.
 func (s *EDCSSession) Close() error {
 	if s.closed {
 		return nil
@@ -293,7 +352,11 @@ func (s *EDCSSession) Close() error {
 		if c == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && first == nil {
+		err := c.Close()
+		if err == nil || s.broken || errors.Is(err, net.ErrClosed) {
+			continue
+		}
+		if first == nil {
 			first = err
 		}
 	}

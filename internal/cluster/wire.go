@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/edcs"
@@ -28,6 +30,14 @@ import (
 // SHARD*/EOS/CORESET round on the same connection up to the HELLO's round
 // cap — one HELLO per run, not per round — and ends when the coordinator
 // closes the connection at a round boundary.
+//
+// Retry is a re-handshake, not a frame: workers are stateless across
+// connections, so a coordinator replaying a lost round simply dials again
+// and speaks a fresh HELLO for the same machine index (for a multi-round
+// assignment, with the rounds field reduced to the rounds still owed,
+// current round included). The frame set is unchanged and no version bump
+// is needed; a pre-replay worker serves a replayed round exactly like a
+// fresh run.
 //
 // Either side may substitute ERROR (UTF-8 message) for its next frame and
 // close. Edge batches and coreset bodies use graph.AppendEdgeBatch — the
@@ -102,6 +112,26 @@ func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
 		return frameHeaderLen, err
 	}
 	return frameHeaderLen + len(payload), nil
+}
+
+// writeFrameDeadline writes one frame under a per-frame write deadline
+// (0 disables the deadline). Every coordinator-side frame write goes
+// through it, so a worker that stops draining its connection surfaces as a
+// timeout instead of a hang.
+func writeFrameDeadline(conn net.Conn, d time.Duration, typ byte, payload []byte) (int, error) {
+	if d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeFrame(conn, typ, payload)
+}
+
+// readFrameDeadline reads one frame under a per-frame read deadline
+// (0 disables the deadline).
+func readFrameDeadline(conn net.Conn, d time.Duration) (typ byte, payload []byte, n int, err error) {
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	return readFrame(conn)
 }
 
 // readFrame reads one frame and returns its type, payload and total wire

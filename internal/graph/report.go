@@ -45,10 +45,18 @@ type RunReport struct {
 	MaxMachineBytes    int `json:"maxMachineBytes"`
 	EstCommBytes       int `json:"estCommBytes,omitempty"`       // cluster only
 	EstMaxMachineBytes int `json:"estMaxMachineBytes,omitempty"` // cluster only
-	// ShardBytes is the measured coordinator-to-worker traffic (cluster only).
+	// ShardBytes is the measured coordinator-to-worker traffic (cluster only),
+	// including the traffic of any replayed rounds.
 	ShardBytes       int `json:"shardBytes,omitempty"`
 	CompositionEdges int `json:"compositionEdges"`
 	Batches          int `json:"batches,omitempty"` // source batches (streaming)
+
+	// Retries counts worker-failure replay attempts across the run (cluster
+	// only; 0 on an undisturbed run) and ReplayedMachines the machines whose
+	// round was successfully replayed — for multi-round runs, aggregated and
+	// deduplicated across rounds (the per-round breakdown is in RoundStats).
+	Retries          int   `json:"retries,omitempty"`
+	ReplayedMachines []int `json:"replayedMachines,omitempty"`
 
 	DurationMS  float64 `json:"durationMs"`
 	EdgesPerSec float64 `json:"edgesPerSec,omitempty"`
@@ -86,4 +94,10 @@ type RoundReport struct {
 	EstMaxMachineBytes int     `json:"estMaxMachineBytes,omitempty"` // cluster only
 	ShardBytes         int     `json:"shardBytes,omitempty"`         // cluster only
 	DurationMS         float64 `json:"durationMs"`
+
+	// Retries counts this round's worker-failure replay attempts and
+	// ReplayedMachines the machines recovered by replay (cluster only;
+	// omitted on an undisturbed round).
+	Retries          int   `json:"retries,omitempty"`
+	ReplayedMachines []int `json:"replayedMachines,omitempty"`
 }

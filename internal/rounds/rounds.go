@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -144,7 +145,12 @@ type RoundStat struct {
 	EstCommBytes       int // cluster only
 	EstMaxMachineBytes int // cluster only
 	ShardBytes         int // cluster only
-	Duration           time.Duration
+	// Retries counts the round's worker-failure replay attempts and
+	// ReplayedMachines the machines recovered by replay (cluster only; zero
+	// on an undisturbed round).
+	Retries          int
+	ReplayedMachines []int
+	Duration         time.Duration
 }
 
 // Stats reports a whole multi-round run: per-round breakdowns plus
@@ -171,8 +177,12 @@ type Stats struct {
 	EstCommBytes       int
 	EstMaxMachineBytes int
 	ShardBytes         int
-	CompositionEdges   int // final-round union size (what composition saw)
-	Duration           time.Duration
+	// Retries sums replay attempts across rounds; ReplayedMachines is the
+	// ascending union of the machines any round replayed (cluster only).
+	Retries          int
+	ReplayedMachines []int
+	CompositionEdges int // final-round union size (what composition saw)
+	Duration         time.Duration
 }
 
 // accumulate folds one finished round into the aggregates.
@@ -189,7 +199,24 @@ func (s *Stats) accumulate(rs RoundStat, coresets [][]graph.Edge) {
 		s.EstMaxMachineBytes = rs.EstMaxMachineBytes
 	}
 	s.ShardBytes += rs.ShardBytes
+	s.Retries += rs.Retries
+	s.ReplayedMachines = mergeMachines(s.ReplayedMachines, rs.ReplayedMachines)
 	s.CompositionEdges = rs.UnionEdges
+}
+
+// mergeMachines folds a round's replayed machines into the run-level list,
+// kept ascending and deduplicated.
+func mergeMachines(acc, add []int) []int {
+	for _, m := range add {
+		i := sort.SearchInts(acc, m)
+		if i < len(acc) && acc[i] == m {
+			continue
+		}
+		acc = append(acc, 0)
+		copy(acc[i+1:], acc[i:])
+		acc[i] = m
+	}
+	return acc
 }
 
 // Report assembles the shared JSON-able run report. Mode names the runtime
@@ -211,6 +238,8 @@ func (s *Stats) Report(mode string, seed uint64, solutionSize, beta int) *graph.
 		EstCommBytes:       s.EstCommBytes,
 		EstMaxMachineBytes: s.EstMaxMachineBytes,
 		ShardBytes:         s.ShardBytes,
+		Retries:            s.Retries,
+		ReplayedMachines:   s.ReplayedMachines,
 		CompositionEdges:   s.CompositionEdges,
 		DurationMS:         float64(s.Duration.Microseconds()) / 1000,
 		Rounds:             s.RoundCap,
@@ -231,6 +260,8 @@ func (s *Stats) Report(mode string, seed uint64, solutionSize, beta int) *graph.
 			EstCommBytes:       rs.EstCommBytes,
 			EstMaxMachineBytes: rs.EstMaxMachineBytes,
 			ShardBytes:         rs.ShardBytes,
+			Retries:            rs.Retries,
+			ReplayedMachines:   rs.ReplayedMachines,
 			DurationMS:         float64(rs.Duration.Microseconds()) / 1000,
 		})
 	}
@@ -387,6 +418,8 @@ func Cluster(ctx context.Context, src stream.EdgeSource, ccfg cluster.Config, cf
 			EstCommBytes:       cst.EstCommBytes,
 			EstMaxMachineBytes: cst.EstMaxMachineBytes,
 			ShardBytes:         cst.ShardBytes,
+			Retries:            cst.Retries,
+			ReplayedMachines:   cst.ReplayedMachines,
 			Duration:           cst.Duration,
 		}
 		for _, cs := range coresets {

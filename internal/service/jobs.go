@@ -116,10 +116,11 @@ type Manager struct {
 	queue     chan *Job
 	workers   int
 	retention int
-	// clusterWorkers is the worker fleet mode "cluster" jobs dispatch to
-	// (immutable after construction; empty means cluster jobs are rejected).
-	clusterWorkers []string
-	wg             sync.WaitGroup
+	// cluster configures the worker fleet mode "cluster" jobs dispatch to
+	// (immutable after construction; an empty fleet means cluster jobs are
+	// rejected).
+	cluster ClusterConfig
+	wg      sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -135,12 +136,33 @@ type Manager struct {
 	nDone, nFailed, nCanceled int64
 }
 
+// ClusterConfig configures the worker fleet mode "cluster" jobs dispatch
+// to. Zero MaxRetries means the service default (cluster.DefaultMaxRetries
+// — a daemon-dispatched job rides out a transient worker loss and reports
+// the retries instead of failing); negative disables replay entirely.
+type ClusterConfig struct {
+	Workers    []string
+	Spares     []string
+	MaxRetries int
+}
+
+// maxRetries resolves the service-level retry default.
+func (c ClusterConfig) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return cluster.DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
 // NewManager starts workers goroutines consuming a queue of queueDepth
 // pending jobs. The most recent `retention` terminal jobs stay pollable;
 // older ones are pruned so a long-running daemon's memory stays bounded
-// (<= 0: keep everything). clusterWorkers, when non-empty, is the fleet
+// (<= 0: keep everything). clusterCfg's fleet, when non-empty, is what
 // mode "cluster" jobs run against.
-func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int, clusterWorkers []string) *Manager {
+func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int, clusterCfg ClusterConfig) *Manager {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -149,15 +171,19 @@ func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		reg:            reg,
-		cache:          cache,
-		queue:          make(chan *Job, queueDepth),
-		workers:        workers,
-		retention:      retention,
-		clusterWorkers: append([]string(nil), clusterWorkers...),
-		baseCtx:        ctx,
-		baseCancel:     cancel,
-		jobs:           make(map[string]*Job),
+		reg:       reg,
+		cache:     cache,
+		queue:     make(chan *Job, queueDepth),
+		workers:   workers,
+		retention: retention,
+		cluster: ClusterConfig{
+			Workers:    append([]string(nil), clusterCfg.Workers...),
+			Spares:     append([]string(nil), clusterCfg.Spares...),
+			MaxRetries: clusterCfg.MaxRetries,
+		},
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -177,14 +203,14 @@ func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 		return nil, err
 	}
 	if req.Mode == ModeCluster {
-		if len(m.clusterWorkers) == 0 {
+		if len(m.cluster.Workers) == 0 {
 			return nil, ErrNoCluster
 		}
 		// One machine per worker address: the request's k must name the
 		// fleet size, or the cache key would lie about the partitioning.
-		if req.K != len(m.clusterWorkers) {
+		if req.K != len(m.cluster.Workers) {
 			return nil, badRequestf("cluster mode requires k = %d (the fleet size), got %d",
-				len(m.clusterWorkers), req.K)
+				len(m.cluster.Workers), req.K)
 		}
 	}
 	gen, ok := m.reg.Generation(req.Graph)
@@ -348,7 +374,17 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := cluster.Config{Workers: m.clusterWorkers, Seed: req.Seed, BatchSize: req.Batch}
+		// Replay is on by default for daemon-dispatched jobs: generator
+		// sources are restartable, so a worker lost mid-round costs the job
+		// one round replay (reported in the result's retry fields) instead
+		// of a 500.
+		cfg := cluster.Config{
+			Workers:    m.cluster.Workers,
+			Seed:       req.Seed,
+			BatchSize:  req.Batch,
+			Spares:     m.cluster.Spares,
+			MaxRetries: m.cluster.maxRetries(),
+		}
 		switch req.Task {
 		case TaskMatching:
 			sol, st, err := cluster.Matching(j.ctx, src, cfg)

@@ -35,6 +35,13 @@ type Config struct {
 	// non-empty, jobs with mode "cluster" are dispatched to them (k must
 	// equal the fleet size); when empty such jobs are rejected.
 	ClusterWorkers []string
+	// ClusterSpares lists standby worker addresses round replay may
+	// substitute for a failed fleet member.
+	ClusterSpares []string
+	// ClusterMaxRetries is the per-machine, per-round replay budget for
+	// cluster jobs. 0 means the service default (cluster.DefaultMaxRetries);
+	// negative disables replay, restoring fail-fast cluster jobs.
+	ClusterMaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,7 +87,11 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.CacheSize),
 		start: time.Now(),
 	}
-	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention, cfg.ClusterWorkers)
+	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention, ClusterConfig{
+		Workers:    cfg.ClusterWorkers,
+		Spares:     cfg.ClusterSpares,
+		MaxRetries: cfg.ClusterMaxRetries,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)

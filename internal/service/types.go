@@ -124,13 +124,18 @@ func (s *GenSpec) Iter() (gen.EdgeIter, error) {
 	}
 }
 
-// Source mints a fresh streaming edge source for the spec.
+// Source mints a fresh streaming edge source for the spec. The source is
+// restartable — each pass replays the spec's draw sequence from its seed —
+// so cluster jobs over generator graphs can replay a lost round.
 func (s *GenSpec) Source() (stream.EdgeSource, error) {
-	it, err := s.Iter()
-	if err != nil {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return stream.NewIterSource(s.N, it), nil
+	spec := *s
+	return stream.NewIterSource(s.N, func() gen.EdgeIter {
+		it, _ := spec.Iter() // validated above; cannot fail
+		return it
+	}), nil
 }
 
 // CreateGraphRequest is the JSON body of POST /v1/graphs. Exactly one of

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/gen"
@@ -24,6 +26,19 @@ type EdgeSource interface {
 	// drained (true for generators, slices and headered edge lists; false
 	// for headerless edge lists, where n is 1 + the largest id seen).
 	KnownUpfront() bool
+}
+
+// Restartable is the optional EdgeSource extension behind cluster round
+// replay: a source that can rewind and deliver the identical edge sequence
+// again. Since cluster sharding is a seeded hash over that sequence, a
+// restartable source lets the coordinator regenerate any single machine's
+// shard deterministically after a worker loss. All sources in this package
+// implement it (ReaderSource only over seekable readers).
+type Restartable interface {
+	EdgeSource
+	// Restart rewinds the source to the beginning of its stream. After a nil
+	// return, Next replays the exact edge sequence already delivered.
+	Restart() error
 }
 
 // SliceSource streams an in-memory edge slice. It is the bridge from
@@ -57,17 +72,29 @@ func (s *SliceSource) Next(buf []graph.Edge) (int, error) {
 func (s *SliceSource) NumVertices() int   { return s.n }
 func (s *SliceSource) KnownUpfront() bool { return true }
 
+// Restart rewinds to the start of the slice.
+func (s *SliceSource) Restart() error {
+	s.pos = 0
+	return nil
+}
+
 // IterSource adapts a gen.EdgeIter (a synthetic-workload generator with O(1)
-// state) into an EdgeSource on a declared vertex universe.
+// state) into an EdgeSource on a declared vertex universe. The factory mints
+// a fresh iterator per pass — generators are seeded, so every pass replays
+// the same draw sequence, which makes the source restartable.
 type IterSource struct {
 	n    int
+	mint func() gen.EdgeIter
 	it   gen.EdgeIter
 	done bool
 }
 
-// NewIterSource returns a source over the iterator's edges on n vertices.
-func NewIterSource(n int, it gen.EdgeIter) *IterSource {
-	return &IterSource{n: n, it: it}
+// NewIterSource returns a source over the edges of mint() on n vertices.
+// mint must return a fresh iterator over the same edge sequence on every
+// call (true for the seeded gen.*Iter constructors when the caller builds
+// the generator RNG inside mint).
+func NewIterSource(n int, mint func() gen.EdgeIter) *IterSource {
+	return &IterSource{n: n, mint: mint, it: mint()}
 }
 
 func (s *IterSource) Next(buf []graph.Edge) (int, error) {
@@ -93,18 +120,26 @@ func (s *IterSource) Next(buf []graph.Edge) (int, error) {
 func (s *IterSource) NumVertices() int   { return s.n }
 func (s *IterSource) KnownUpfront() bool { return true }
 
+// Restart mints a fresh iterator, replaying the sequence from the start.
+func (s *IterSource) Restart() error {
+	s.it = s.mint()
+	s.done = false
+	return nil
+}
+
 // ReaderSource streams a text edge list (the cmd/coreset format) from an
 // io.Reader via the incremental parser, validating line by line. With a
 // "p <n> <m>" header the vertex count is known upfront (enabling the online
 // peeling optimization); without one it is inferred as the stream drains.
 type ReaderSource struct {
+	r    io.Reader
 	p    *graph.EdgeListParser
 	done bool
 }
 
 // NewReaderSource returns a source parsing r incrementally.
 func NewReaderSource(r io.Reader) *ReaderSource {
-	return &ReaderSource{p: graph.NewEdgeListParser(r)}
+	return &ReaderSource{r: r, p: graph.NewEdgeListParser(r)}
 }
 
 func (s *ReaderSource) Next(buf []graph.Edge) (int, error) {
@@ -133,3 +168,19 @@ func (s *ReaderSource) Next(buf []graph.Edge) (int, error) {
 
 func (s *ReaderSource) NumVertices() int   { return s.p.NumVertices() }
 func (s *ReaderSource) KnownUpfront() bool { return s.p.HasHeader() }
+
+// Restart rewinds the underlying reader and reparses from the top. It fails
+// when the reader is not seekable (e.g. stdin), in which case the source
+// cannot back a replayed cluster round.
+func (s *ReaderSource) Restart() error {
+	sk, ok := s.r.(io.Seeker)
+	if !ok {
+		return errors.New("stream: edge-list reader is not seekable; cannot restart")
+	}
+	if _, err := sk.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: restart edge list: %w", err)
+	}
+	s.p = graph.NewEdgeListParser(s.r)
+	s.done = false
+	return nil
+}

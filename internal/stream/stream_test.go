@@ -230,7 +230,7 @@ func TestIterSourceMatchesGraphSource(t *testing.T) {
 	const n, seed = 500, 17
 	p := 8.0 / n
 	g := gen.GNP(n, p, rng.New(seed))
-	src := NewIterSource(n, gen.GNPIter(n, p, rng.New(seed)))
+	src := NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, p, rng.New(seed)) })
 	parts, _, err := Shard(src, Config{K: 3, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
