@@ -47,6 +47,10 @@
 // same schema (graph.RunReport) the coresetd service returns for jobs, so
 // CLI runs and service queries are interchangeable downstream.
 //
+// With -trace the run logs span events to stderr (run.start/run.end, plus
+// per-round spans for -rounds and shard spans for -stream), each stamped
+// with a run ID derived deterministically from -seed.
+//
 // The input format is one "u v" edge per line, optionally preceded by a
 // header "p <n> <m>"; lines starting with '#' or '%' are comments.
 package main
@@ -69,6 +73,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	rnd "repro/internal/rounds"
 	"repro/internal/service"
@@ -103,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch     = fs.Int("batch", 0, "streaming batch size in edges (0 = default)")
 		quiet     = fs.Bool("q", false, "print only the summary line")
 		jsonOut   = fs.Bool("json", false, "emit the run report as JSON (graph.RunReport schema)")
+		traceF    = fs.Bool("trace", false, "log run and round spans to stderr (run ID derived from -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -128,19 +134,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coreset: -max-retries requires -cluster (replay only exists in the cluster runtime)")
 		return 2
 	}
-	if *clusterTo != "" {
-		return runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *quiet, *jsonOut, stdout, stderr)
+	// The tracer derives its run ID from the root seed, so repeated runs of
+	// the same configuration produce identical trace streams (modulo
+	// durations) — which is what makes the trace output golden-testable.
+	var tracer *obs.Tracer
+	if *traceF {
+		tracer = obs.NewTextTracer(stderr, obs.RunIDFromSeed(*seed))
 	}
-	if *streaming {
-		return runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, stdout, stderr)
+	mode := "batch"
+	switch {
+	case *clusterTo != "":
+		mode = "cluster"
+	case *streaming:
+		mode = "stream"
 	}
-	return runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, stdout, stderr)
+	endRun := tracer.Span("run", "task", *task, "mode", mode, "k", *k, "seed", *seed)
+	var code int
+	switch mode {
+	case "cluster":
+		code = runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *quiet, *jsonOut, tracer, stdout, stderr)
+	case "stream":
+		code = runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+	default:
+		code = runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+	}
+	endRun("code", code)
+	return code
 }
 
 // roundsConfig assembles the multi-round driver configuration shared by the
 // three runtimes (engaged by -rounds N with N >= 1).
-func roundsConfig(k, roundCap int, seed uint64, p edcs.Params, batch, workers int) rnd.Config {
-	return rnd.Config{K: k, Rounds: roundCap, Seed: seed, Params: p, BatchSize: batch, Workers: workers}
+func roundsConfig(k, roundCap int, seed uint64, p edcs.Params, batch, workers int, tr *obs.Tracer) rnd.Config {
+	return rnd.Config{K: k, Rounds: roundCap, Seed: seed, Params: p, BatchSize: batch, Workers: workers, Trace: tr}
 }
 
 // printRoundStats prints the per-round breakdown of a multi-round run.
@@ -171,7 +196,7 @@ func emitReport(stdout io.Writer, rep *graph.RunReport) int {
 	return 0
 }
 
-func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	g, err := loadGraph(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -224,7 +249,7 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
 		if rounds >= 1 {
-			m, st, err := rnd.Batch(g, roundsConfig(k, rounds, seed, p, 0, workers))
+			m, st, err := rnd.Batch(g, roundsConfig(k, rounds, seed, p, 0, workers, tracer))
 			if err != nil {
 				fmt.Fprintln(stderr, "coreset:", err)
 				return 1
@@ -267,7 +292,7 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 	return 0
 }
 
-func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	src, closeSrc, err := openSource(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -276,7 +301,7 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 	if closeSrc != nil {
 		defer closeSrc()
 	}
-	cfg := stream.Config{K: k, Seed: seed, BatchSize: batch}
+	cfg := stream.Config{K: k, Seed: seed, BatchSize: batch, Trace: tracer}
 
 	switch task {
 	case "matching":
@@ -313,7 +338,7 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
 		if rounds >= 1 {
-			m, st, err := rnd.Stream(context.Background(), src, roundsConfig(k, rounds, seed, p, batch, 0))
+			m, st, err := rnd.Stream(context.Background(), src, roundsConfig(k, rounds, seed, p, batch, 0, tracer))
 			if err != nil {
 				fmt.Fprintln(stderr, "coreset:", err)
 				return 1
@@ -393,7 +418,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec string, quiet, jsonOut bool, stdout, stderr io.Writer) int {
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -450,7 +475,7 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 	case "edcs":
 		p := edcs.ParamsForBeta(beta)
 		if rounds >= 1 {
-			m, st, err := rnd.Cluster(ctx, src, cfg, roundsConfig(k, rounds, seed, p, batch, 0))
+			m, st, err := rnd.Cluster(ctx, src, cfg, roundsConfig(k, rounds, seed, p, batch, 0, tracer))
 			if err != nil {
 				fmt.Fprintln(stderr, "coreset:", err)
 				return 1

@@ -25,10 +25,15 @@
 //	GET    /v1/jobs/{id}  poll a job; ?wait=2s long-polls until terminal
 //	DELETE /v1/jobs/{id}  cancel a job
 //	GET    /v1/stats      registry / job / cache counters
-//	GET    /healthz       liveness probe (text)
+//	GET    /healthz       liveness probe (text); 503 "draining" during shutdown
+//	GET    /metrics       Prometheus text exposition
 //
-// On SIGINT/SIGTERM the daemon stops accepting requests, drains in-flight
-// jobs (bounded by -drain) and exits.
+// With -admin ADDR a second listener serves the operational surface away
+// from the job API: /metrics, /healthz and net/http/pprof under
+// /debug/pprof/. With -trace, job and round spans are logged to stderr.
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests (healthz flips to
+// "draining"), drains in-flight jobs (bounded by -drain) and exits.
 package main
 
 import (
@@ -36,14 +41,17 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -64,6 +72,8 @@ func run(args []string, stderr *os.File) int {
 		clusterW  = fs.String("cluster", "", "comma-separated coresetworker addresses; enables jobs with mode 'cluster'")
 		spares    = fs.String("spares", "", "comma-separated standby coresetworker addresses round replay may substitute for failed fleet members")
 		retries   = fs.Int("max-retries", cluster.DefaultMaxRetries, "per-machine, per-round replay budget after a cluster worker failure (0 = fail fast)")
+		admin     = fs.String("admin", "", "optional admin listener address serving /metrics, /healthz and /debug/pprof/")
+		trace     = fs.Bool("trace", false, "log job and round spans to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -102,6 +112,10 @@ func run(args []string, stderr *os.File) int {
 	if maxRetries == 0 {
 		maxRetries = -1 // service convention: negative disables replay
 	}
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(slog.New(slog.NewTextHandler(stderr, nil)), "")
+	}
 	svc := service.New(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -110,6 +124,7 @@ func run(args []string, stderr *os.File) int {
 		ClusterWorkers:    fleet,
 		ClusterSpares:     spareFleet,
 		ClusterMaxRetries: maxRetries,
+		Tracer:            tracer,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,
@@ -130,6 +145,24 @@ func run(args []string, stderr *os.File) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// The admin listener keeps the operational surface (metrics, profiling)
+	// off the job-facing port, so it can stay firewalled to operators.
+	var adminSrv *http.Server
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			logger.Printf("admin listen: %v", err)
+			return 1
+		}
+		adminSrv = &http.Server{Addr: *admin, Handler: adminMux(svc)}
+		logger.Printf("admin surface on %s (/metrics, /healthz, /debug/pprof/)", aln.Addr())
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("admin serve: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -140,11 +173,19 @@ func run(args []string, stderr *os.File) int {
 	}
 
 	logger.Printf("shutting down: draining for up to %v", *drain)
+	// Flip /healthz to "draining" before the listeners come down, so load
+	// balancers stop routing while in-flight requests finish.
+	svc.BeginDrain()
 	// The HTTP listener and the job pool each get their own drain budget: a
 	// client parked in a long-poll must not eat the time the job drain needs.
 	hctx, hcancel := context.WithTimeout(context.Background(), *drain)
 	if err := httpSrv.Shutdown(hctx); err != nil {
 		logger.Printf("http shutdown: %v", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(hctx); err != nil {
+			logger.Printf("admin shutdown: %v", err)
+		}
 	}
 	hcancel()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -155,4 +196,18 @@ func run(args []string, stderr *os.File) int {
 	}
 	logger.Printf("drained cleanly")
 	return 0
+}
+
+// adminMux builds the operational handler: metrics and health delegated to
+// the service, plus the stdlib pprof endpoints.
+func adminMux(svc *service.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", svc.Metrics().Handler())
+	mux.Handle("GET /healthz", svc) // service routes /healthz itself
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -18,6 +18,11 @@
 // rides in the job request (and its cache key), against a cluster each job
 // holds one multi-round session over the fleet.
 //
+// With -scrape (service target) the tool snapshots GET /metrics before and
+// after the run and prints the counter deltas attributable to the workload
+// next to the latency percentiles — submitted/done totals, cache traffic,
+// and (for mode cluster) the wire byte counters.
+//
 // Usage:
 //
 //	coresetload -addr http://127.0.0.1:8440 -gen gnp -n 20000 -deg 8 \
@@ -36,11 +41,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/edcs"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/service"
 	"repro/internal/stream"
@@ -72,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds    = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the service cache)")
 		warmup   = fs.Int("warmup", -1, "jobs excluded from latency percentiles as warmup (-1 = auto: one wave of clients for -target cluster, 0 for service)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+		scrape   = fs.Bool("scrape", false, "snapshot GET /metrics around the run and print counter deltas (-target service)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,6 +98,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// percentile this tool prints.
 	if err := service.ValidateTaskParams(*task, *beta, *rounds); err != nil {
 		fmt.Fprintln(stderr, "coresetload:", err)
+		return 2
+	}
+	if *scrape && *target != "service" {
+		fmt.Fprintln(stderr, "coresetload: -scrape requires -target service (only coresetd serves /metrics)")
 		return 2
 	}
 	if *target == "cluster" {
@@ -121,6 +134,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "graph %s: %s n=%d\n", info.ID, *genName, info.N)
+
+	var before map[string]float64
+	if *scrape {
+		var err error
+		if before, err = lg.scrape(); err != nil {
+			fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+			return 1
+		}
+	}
 
 	var (
 		mu        sync.Mutex
@@ -181,10 +203,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "server: %d done / %d failed / %d canceled; cache %d hits / %d misses\n",
 		st.Jobs.Done, st.Jobs.Failed, st.Jobs.Canceled, st.Cache.Hits, st.Cache.Misses)
+	if *scrape {
+		after, err := lg.scrape()
+		if err != nil {
+			fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+			return 1
+		}
+		printMetricDeltas(stdout, before, after)
+	}
 	if failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// scrape fetches and parses the daemon's /metrics exposition.
+func (l *loadgen) scrape() (map[string]float64, error) {
+	resp, err := l.client.Get(l.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// printMetricDeltas prints every counter that moved during the run, so the
+// server-side accounting (job totals, cache traffic, histogram sample counts,
+// cluster wire bytes) lines up next to the client-side latency percentiles.
+// Gauges and idle counters are suppressed: a delta of zero says nothing about
+// this workload.
+func printMetricDeltas(w io.Writer, before, after map[string]float64) {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		if !strings.Contains(name, "_total") && !strings.HasSuffix(metricBase(name), "_count") && !strings.HasSuffix(metricBase(name), "_sum") && !strings.Contains(name, "_bucket") {
+			continue // gauges: point-in-time values, deltas are noise
+		}
+		if strings.Contains(name, "_bucket") {
+			continue // bucket-level deltas overwhelm the summary; _count/_sum carry the story
+		}
+		if after[name]-before[name] != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "metrics delta over the run:")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-60s +%g\n", name, after[name]-before[name])
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(w, "  (no counters moved)")
+	}
+}
+
+// metricBase strips a label set from a sample name: "m_count{a=\"b\"}" → "m_count".
+func metricBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // runClusterTarget drives a coordinator+workers deployment directly: every

@@ -1,0 +1,166 @@
+// Example metrics_scrape runs the coresetd service in-process with a
+// tracer attached and walks the observability surface: submit a mix of
+// cold and cached jobs, scrape GET /metrics, and print the counter and
+// histogram families that describe what just happened — the same
+// exposition a Prometheus server would collect. It also shows the
+// library-level side: an obs.Registry fed by the cluster/rounds sinks can
+// be rendered directly, without any HTTP in between.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/edcs"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/rounds"
+	"repro/internal/service"
+	"repro/internal/stream"
+)
+
+func main() {
+	// Part 1: the service surface. A tracer on Config logs one span per job
+	// to stderr, each stamped with a fresh run ID.
+	svc := service.New(service.Config{
+		Workers: 2,
+		Tracer:  obs.NewTextTracer(os.Stderr, ""),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	var info service.GraphInfo
+	post(base+"/v1/graphs", service.CreateGraphRequest{
+		Gen: &service.GenSpec{Name: "gnp", N: 5000, Deg: 8, Seed: 1},
+	}, &info)
+
+	// Three cold jobs (distinct seeds) and one cache hit.
+	for _, seed := range []uint64{1, 2, 3, 1} {
+		runJob(base, service.CreateJobRequest{Graph: info.ID, Task: service.TaskMatching, K: 4, Seed: seed})
+	}
+
+	// Scrape the exposition the way Prometheus would and show the families
+	// that tell the story: job totals, cache traffic, the latency histogram.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- GET /metrics (selected families) --")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, "service_jobs_") || strings.Contains(line, "service_cache_") ||
+			strings.Contains(line, "service_job_duration_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 2: the library surface. The runtimes report through an injected
+	// obs.Sink; a RegistrySink turns those raw events into registered
+	// counters and histograms on a registry you render yourself.
+	reg := obs.NewRegistry()
+	sink := obs.NewRegistrySink(reg)
+	g := gen.GNP(5000, 8.0/5000, rng.New(7))
+	_, st, err := rounds.Stream(context.Background(), stream.NewGraphSource(g),
+		rounds.Config{K: 4, Rounds: 3, Seed: 7, Params: edcs.ParamsForBeta(0), Obs: sink})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- multi-round run: %d rounds, %d comm bytes --\n", st.RoundsRun, st.TotalCommBytes)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := obs.ParseText(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(parsed))
+	for name := range parsed {
+		if strings.HasPrefix(name, "rounds_") && !strings.Contains(name, "_bucket") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s %g\n", name, parsed[name])
+	}
+}
+
+func runJob(base string, req service.CreateJobRequest) {
+	var job service.JobView
+	post(base+"/v1/jobs", req, &job)
+	for job.State == string(service.JobQueued) || job.State == string(service.JobRunning) {
+		get(base+"/v1/jobs/"+job.ID+"?wait=2s", &job)
+	}
+	if job.State != string(service.JobDone) {
+		log.Fatalf("job %s: %s", job.ID, job.State)
+	}
+	fmt.Printf("job %s done (cached=%v, size %d)\n", job.ID, job.Cached, job.Result.SolutionSize)
+}
+
+func post(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -47,6 +47,24 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Metric names this package reports through Config.Obs (see internal/obs).
+// Counts are events and bytes measured on the live connections; a run with a
+// nil Sink reports nothing. cluster_replays_total is the acceptance signal
+// for fault tolerance: it advances once per machine whose round was
+// successfully replayed after a worker loss.
+const (
+	MetricFramesSent     = "cluster_frames_sent_total"
+	MetricFramesReceived = "cluster_frames_received_total"
+	MetricShardBytes     = "cluster_shard_bytes_total"
+	MetricCoresetBytes   = "cluster_coreset_bytes_total"
+	MetricDialAttempts   = "cluster_dial_attempts_total"
+	MetricBackoffSleeps  = "cluster_backoff_sleeps_total"
+	MetricRetries        = "cluster_retries_total"
+	MetricReplays        = "cluster_replays_total"
+	MetricWorkerFailures = "cluster_worker_failures_total"
 )
 
 // DefaultBatchSize matches the in-process streaming runtime's batch size.
@@ -107,6 +125,10 @@ type Config struct {
 	// the failed one — so a worker whose process is gone for good costs one
 	// round, not the run.
 	Spares []string
+	// Obs receives wire-level events (frames, bytes, dial attempts, backoff
+	// sleeps, retries, replays — the Metric* names above) as they happen.
+	// Nil, the zero value, keeps the library silent.
+	Obs obs.Sink
 }
 
 func (c Config) batchSize() int {

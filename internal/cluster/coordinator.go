@@ -14,6 +14,7 @@ import (
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stream"
 )
@@ -187,8 +188,10 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 				we := &WorkerError{Machine: machine, Addr: addr, Kind: kind, Retryable: kind.retryable(), Err: err}
 				res.err = we
 				noteFailure(we)
+				obs.Count(cfg.Obs, MetricWorkerFailures, 1)
 			}
 
+			obs.Count(cfg.Obs, MetricDialAttempts, 1)
 			conn, err := dialer.DialContext(runCtx, "tcp", addr)
 			if err != nil {
 				fail(KindDial, err)
@@ -203,6 +206,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep}
 			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			res.sent += n
+			countSent(cfg.Obs, n, err)
 			if err != nil {
 				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
@@ -211,7 +215,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 				fail(kind, err)
 				return
 			}
-			roundTrip(runCtx, conn, task, iot, chans[machine], nReady, &nFinal, &res, fail)
+			roundTrip(runCtx, conn, task, iot, chans[machine], nReady, &nFinal, &res, fail, cfg.Obs)
 		}(i)
 	}
 
@@ -342,12 +346,13 @@ func readAck(conn net.Conn, iot time.Duration) (FailureKind, error) {
 // a stalled worker surfaces as a retryable KindDeadline failure rather than
 // a hang. On a shard-stream failure the caller's deferred drain consumes
 // the remaining batches.
-func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Duration, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(FailureKind, error)) {
+func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Duration, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(FailureKind, error), sink obs.Sink) {
 	var buf []byte
 	for batch := range batches {
 		buf = graph.AppendEdgeBatch(buf[:0], batch)
 		n, err := writeFrameDeadline(conn, iot, frameShard, buf)
 		res.sent += n
+		countSent(sink, n, err)
 		if err != nil {
 			fail(ioKind(err), fmt.Errorf("shard stream: %w", err))
 			return
@@ -361,6 +366,7 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 	}
 	n, err := writeFrameDeadline(conn, iot, frameEOS, binary.AppendUvarint(nil, uint64(*nFinal)))
 	res.sent += n
+	countSent(sink, n, err)
 	if err != nil {
 		fail(ioKind(err), fmt.Errorf("EOS: %w", err))
 		return
@@ -379,11 +385,34 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 			return
 		}
 		res.sum, res.wire = sum, frameLen
+		countReceived(sink, frameLen)
 	case frameError:
 		fail(KindProtocol, fmt.Errorf("remote: %s", payload))
 	default:
 		fail(KindProtocol, fmt.Errorf("unexpected frame 0x%02x, want CORESET", typ))
 	}
+}
+
+// countSent reports one coordinator-to-worker frame write to the sink: the
+// bytes that made it onto the wire always count, the frame only when the
+// write fully succeeded.
+func countSent(sink obs.Sink, n int, err error) {
+	if sink == nil {
+		return
+	}
+	obs.Count(sink, MetricShardBytes, int64(n))
+	if err == nil {
+		obs.Count(sink, MetricFramesSent, 1)
+	}
+}
+
+// countReceived reports one CORESET frame read off a worker connection.
+func countReceived(sink obs.Sink, frameLen int) {
+	if sink == nil {
+		return
+	}
+	obs.Count(sink, MetricFramesReceived, 1)
+	obs.Count(sink, MetricCoresetBytes, int64(frameLen))
 }
 
 // shardSource reads src to exhaustion and routes every edge to the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stream"
 )
@@ -152,6 +153,7 @@ func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine 
 				return retries, replayed, terminal(exh, nil)
 			}
 		}
+		obs.Count(r.cfg.Obs, MetricBackoffSleeps, 1)
 		if err := sleepCtx(ctx, backoff); err != nil {
 			return retries, replayed, err
 		}
@@ -178,6 +180,7 @@ func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine 
 			}
 			attempts[m]++
 			retries++
+			obs.Count(r.cfg.Obs, MetricRetries, 1)
 			if r.retire != nil && !retired[m] {
 				r.retire(m)
 				retired[m] = true
@@ -227,6 +230,7 @@ func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine 
 			delete(failed, m)
 			delete(active, m)
 			replayed = append(replayed, m)
+			obs.Count(r.cfg.Obs, MetricReplays, 1)
 			if r.keep != nil {
 				r.keep(m, rc.conn)
 			} else {
@@ -241,6 +245,7 @@ func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine 
 // handshake dials a machine's current address and speaks the replay HELLO.
 func (r *replayer) handshake(ctx context.Context, dialer *net.Dialer, m int, iot time.Duration) (*replayConn, *WorkerError) {
 	addr := r.addrs[m]
+	obs.Count(r.cfg.Obs, MetricDialAttempts, 1)
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, &WorkerError{Machine: m, Addr: addr, Kind: KindDial, Retryable: true, Err: fmt.Errorf("replay dial: %w", err)}
@@ -248,6 +253,7 @@ func (r *replayer) handshake(ctx context.Context, dialer *net.Dialer, m int, iot
 	rc := &replayConn{conn: conn}
 	n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(r.helloFor(m)))
 	rc.sent += n
+	countSent(r.cfg.Obs, n, err)
 	if err != nil {
 		conn.Close()
 		return nil, &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay handshake: %w", err)}
@@ -283,6 +289,7 @@ func (r *replayer) shardTo(ctx context.Context, src stream.EdgeSource, active ma
 		pending[m] = pending[m][:0]
 		n, err := writeFrameDeadline(rc.conn, iot, frameShard, enc)
 		rc.sent += n
+		countSent(r.cfg.Obs, n, err)
 		if err != nil {
 			rc.conn.Close()
 			delete(active, m)
@@ -329,6 +336,7 @@ func (r *replayer) collect(m int, rc *replayConn, iot time.Duration) *WorkerErro
 	addr := r.addrs[m]
 	n, err := writeFrameDeadline(rc.conn, iot, frameEOS, binary.AppendUvarint(nil, uint64(r.nFinal)))
 	rc.sent += n
+	countSent(r.cfg.Obs, n, err)
 	if err != nil {
 		return &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay EOS: %w", err)}
 	}
@@ -343,6 +351,7 @@ func (r *replayer) collect(m int, rc *replayConn, iot time.Duration) *WorkerErro
 			return &WorkerError{Machine: m, Addr: addr, Kind: KindProtocol, Retryable: false, Err: err}
 		}
 		rc.sum, rc.wire = sum, frameLen
+		countReceived(r.cfg.Obs, frameLen)
 		return nil
 	case frameError:
 		return &WorkerError{Machine: m, Addr: addr, Kind: KindProtocol, Retryable: false, Err: fmt.Errorf("remote: %s", payload)}

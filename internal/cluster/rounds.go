@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/edcs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -96,7 +97,9 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 			addr := cfg.Workers[machine]
 			fail := func(kind FailureKind, err error) {
 				errs[machine] = &WorkerError{Machine: machine, Addr: addr, Kind: kind, Retryable: kind.retryable(), Err: err}
+				obs.Count(cfg.Obs, MetricWorkerFailures, 1)
 			}
+			obs.Count(cfg.Obs, MetricDialAttempts, 1)
 			conn, err := dialer.DialContext(ctx, "tcp", addr)
 			if err != nil {
 				fail(KindDial, err)
@@ -112,6 +115,7 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 			}
 			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			sent[machine] = n
+			countSent(cfg.Obs, n, err)
 			if err != nil {
 				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
@@ -212,10 +216,11 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 				we := &WorkerError{Machine: machine, Addr: s.addrs[machine], Kind: kind, Retryable: kind.retryable(), Err: err}
 				res.err = we
 				noteFailure(we)
+				obs.Count(s.cfg.Obs, MetricWorkerFailures, 1)
 			}
 			stopWatch := closeOnCancel(runCtx, conn)
 			defer stopWatch()
-			roundTrip(runCtx, conn, taskEDCSRounds, iot, chans[machine], nReady, &nFinal, &res, fail)
+			roundTrip(runCtx, conn, taskEDCSRounds, iot, chans[machine], nReady, &nFinal, &res, fail, s.cfg.Obs)
 		}(i)
 	}
 

@@ -51,8 +51,20 @@ import (
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stream"
+)
+
+// Metric names this package reports through Config.Obs (see internal/obs):
+// one event per completed round carrying the union size, the shrink ratio
+// (union edges over input edges — < 1 while the sketch is still shrinking)
+// and the round's communication bytes.
+const (
+	MetricRounds      = "rounds_completed_total"
+	MetricUnionEdges  = "rounds_union_edges"
+	MetricShrinkRatio = "rounds_shrink_ratio"
+	MetricCommBytes   = "rounds_comm_bytes_total"
 )
 
 // MaxRounds is the sanity cap every user-facing surface (CLI flag, service
@@ -78,6 +90,13 @@ type Config struct {
 	BatchSize int
 	// Workers caps goroutine parallelism in batch mode (0 = GOMAXPROCS).
 	Workers int
+	// Obs receives per-round events (the Metric* names above). Nil keeps
+	// the driver silent.
+	Obs obs.Sink
+	// Trace receives span-style round events (round.start/round.end with
+	// union size and shrink ratio, plus a compose event). Nil disables
+	// tracing.
+	Trace *obs.Tracer
 }
 
 // Validate rejects configurations no driver can run.
@@ -312,8 +331,10 @@ func drive(ctx context.Context, src stream.EdgeSource, cfg Config, exec runRound
 			input = stream.NewSliceSource(st.N, prevUnion)
 		}
 		seed := SeedForRound(cfg.Seed, round)
+		endRound := cfg.Trace.Span("round", "round", round, "k", k)
 		coresets, rs, n, err := exec(ctx, input, k, seed)
 		if err != nil {
+			endRound("err", err.Error())
 			return nil, nil, err
 		}
 		rs.Round, rs.K, rs.Seed = round, k, seed
@@ -324,11 +345,21 @@ func drive(ctx context.Context, src stream.EdgeSource, cfg Config, exec runRound
 			st.N = n
 		}
 		st.accumulate(rs, coresets)
+		shrink := 1.0
+		if rs.InputEdges > 0 {
+			shrink = float64(rs.UnionEdges) / float64(rs.InputEdges)
+		}
+		endRound("input_edges", rs.InputEdges, "union_edges", rs.UnionEdges)
+		obs.Count(cfg.Obs, MetricRounds, 1)
+		obs.Count(cfg.Obs, MetricCommBytes, int64(rs.TotalCommBytes))
+		obs.Observe(cfg.Obs, MetricUnionEdges, float64(rs.UnionEdges))
+		obs.Observe(cfg.Obs, MetricShrinkRatio, shrink)
 		if rs.UnionEdges >= rs.InputEdges {
 			break // the sketch converged; further rounds only burn communication
 		}
 		k = NextK(k)
 	}
+	cfg.Trace.Event("compose", "machines", len(st.Coresets), "union_edges", st.CompositionEdges)
 	m := core.ComposeMatching(st.N, st.Coresets)
 	st.Duration = time.Since(start)
 	return m, st, nil
@@ -389,6 +420,11 @@ func Cluster(ctx context.Context, src stream.EdgeSource, ccfg cluster.Config, cf
 	cfg.K = len(ccfg.Workers)
 	if cfg.BatchSize > 0 && ccfg.BatchSize == 0 {
 		ccfg.BatchSize = cfg.BatchSize
+	}
+	if ccfg.Obs == nil {
+		// One sink covers the whole run: a caller that wired the driver's
+		// events gets the session's wire-level events too.
+		ccfg.Obs = cfg.Obs
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err

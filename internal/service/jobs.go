@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/stream"
 )
@@ -120,7 +121,10 @@ type Manager struct {
 	// (immutable after construction; an empty fleet means cluster jobs are
 	// rejected).
 	cluster ClusterConfig
-	wg      sync.WaitGroup
+	// ins carries the metrics collectors and tracer the worker loop writes
+	// to; nil (the zero-instrumentation default in library tests) is valid.
+	ins *Instruments
+	wg  sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -161,8 +165,10 @@ func (c ClusterConfig) maxRetries() int {
 // pending jobs. The most recent `retention` terminal jobs stay pollable;
 // older ones are pruned so a long-running daemon's memory stays bounded
 // (<= 0: keep everything). clusterCfg's fleet, when non-empty, is what
-// mode "cluster" jobs run against.
-func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int, clusterCfg ClusterConfig) *Manager {
+// mode "cluster" jobs run against. ins (nil for none) receives job latency
+// and in-flight instrumentation and supplies the event sink threaded into
+// cluster and rounds runs.
+func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int, clusterCfg ClusterConfig, ins *Instruments) *Manager {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -181,6 +187,7 @@ func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int,
 			Spares:     append([]string(nil), clusterCfg.Spares...),
 			MaxRetries: clusterCfg.MaxRetries,
 		},
+		ins:        ins,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -291,10 +298,19 @@ func (m *Manager) worker() {
 		if j.ctx.Err() != nil {
 			j.finish(nil, j.ctx.Err())
 		} else {
+			m.ins.jobStarted()
 			j.setRunning()
+			tr := m.ins.trace().WithRun(obs.NewRunID())
+			end := tr.Span("job", "job", j.ID, "task", j.Req.Task, "mode", j.Req.Mode, "k", j.Req.K)
+			start := time.Now()
 			rep, err := m.execute(j)
+			m.ins.observeJob(j.Req.Task, j.Req.Mode, time.Since(start))
+			m.ins.jobFinished()
 			if err == nil {
 				m.cache.Put(j.key, rep)
+				end("state", string(JobDone))
+			} else {
+				end("state", "error", "err", err.Error())
 			}
 			j.finish(rep, err)
 		}
@@ -302,6 +318,14 @@ func (m *Manager) worker() {
 		m.noteTerminalLocked(j)
 		m.mu.Unlock()
 	}
+}
+
+// lifetime returns the monotonic lifetime totals (submitted and per-terminal-
+// state counts) backing the /metrics counter functions.
+func (m *Manager) lifetime() (submitted, done, failed, canceled int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitted, m.nDone, m.nFailed, m.nCanceled
 }
 
 // roundsConfig assembles the multi-round driver configuration for a
@@ -314,6 +338,7 @@ func (m *Manager) roundsConfig(req CreateJobRequest) rounds.Config {
 		Seed:      req.Seed,
 		Params:    edcs.ParamsForBeta(req.Beta),
 		BatchSize: req.Batch,
+		Obs:       m.ins.eventSink(),
 	}
 }
 
@@ -384,6 +409,7 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			BatchSize:  req.Batch,
 			Spares:     m.cluster.Spares,
 			MaxRetries: m.cluster.maxRetries(),
+			Obs:        m.ins.eventSink(),
 		}
 		switch req.Task {
 		case TaskMatching:

@@ -9,9 +9,11 @@ import (
 	"mime"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -42,6 +44,9 @@ type Config struct {
 	// cluster jobs. 0 means the service default (cluster.DefaultMaxRetries);
 	// negative disables replay, restoring fail-fast cluster jobs.
 	ClusterMaxRetries int
+	// Tracer receives structured run-trace events (job spans with run IDs).
+	// Nil disables tracing; see internal/obs.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -70,28 +75,34 @@ func (c Config) withDefaults() Config {
 // API. It is an http.Handler; the caller owns the http.Server (and so the
 // listener lifecycle), and calls Shutdown to drain the job pool.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	mgr   *Manager
-	cache *Cache
-	mux   *http.ServeMux
-	start time.Time
+	cfg      Config
+	reg      *Registry
+	mgr      *Manager
+	cache    *Cache
+	mux      *http.ServeMux
+	start    time.Time
+	metrics  *obs.Registry
+	ins      *Instruments
+	draining atomic.Bool
 }
 
 // New builds a ready-to-serve service.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxGraphs),
-		cache: NewCache(cfg.CacheSize),
-		start: time.Now(),
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.MaxGraphs),
+		cache:   NewCache(cfg.CacheSize),
+		start:   time.Now(),
+		metrics: obs.NewRegistry(),
 	}
+	s.ins = newInstruments(s.metrics, cfg.Tracer)
 	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention, ClusterConfig{
 		Workers:    cfg.ClusterWorkers,
 		Spares:     cfg.ClusterSpares,
 		MaxRetries: cfg.ClusterMaxRetries,
-	})
+	}, s.ins)
+	s.registerStatFuncs()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
@@ -101,21 +112,36 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	return s
 }
 
 // ServeHTTP dispatches to the API mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// BeginDrain flips /healthz to "draining" (HTTP 503) without stopping any
+// work. Call it before http.Server.Shutdown so load balancers stop routing
+// new traffic while in-flight requests and queued jobs finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Shutdown drains the job manager; see Manager.Shutdown. Call it after the
-// http.Server has stopped accepting requests.
-func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+// http.Server has stopped accepting requests. It implies BeginDrain, so a
+// caller that skipped the explicit drain step still reports draining on any
+// health probe that races the listener teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	return s.mgr.Shutdown(ctx)
+}
 
 // Manager exposes the job manager (load tools and tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
 // Registry exposes the graph registry (tests).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server's metrics registry — cmd/coresetd mounts it on
+// the admin listener next to net/http/pprof.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -290,16 +316,26 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	up := time.Since(s.start)
 	writeJSON(w, http.StatusOK, StatsView{
-		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
-		Workers:  s.mgr.Workers(),
-		Graphs:   s.reg.Stats(),
-		Jobs:     s.mgr.Stats(),
-		Cache:    s.cache.Stats(),
+		UptimeMS:      float64(up.Microseconds()) / 1000,
+		UptimeSeconds: up.Seconds(),
+		Workers:       s.mgr.Workers(),
+		Graphs:        s.reg.Stats(),
+		Jobs:          s.mgr.Stats(),
+		Cache:         s.cache.Stats(),
 	})
 }
 
+// handleHealth distinguishes a serving daemon ("ok") from one draining for
+// shutdown ("draining", HTTP 503) so load balancers stop routing before the
+// listener closes.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }

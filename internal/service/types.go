@@ -19,6 +19,16 @@
 //     together — POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
 //     GET /v1/stats, plus /healthz.
 //
+// The server is also instrumented end to end (metrics.go): an internal/obs
+// registry rendered at GET /metrics carries job latency histograms per
+// task×mode, queue depth, in-flight jobs, cache hit/miss and registry
+// add/eviction counters, and every cluster/rounds event (wire bytes, dial
+// attempts, retries, replays) reported through the injected obs.Sink.
+// cmd/coresetd can additionally mount the same registry together with
+// net/http/pprof on an opt-in admin listener (-admin), keeping profiling
+// endpoints off the public API port. /healthz returns "ok" while serving and
+// "draining" (HTTP 503) once shutdown begins.
+//
 // This file holds the wire types shared by the handlers, the CLI tools and
 // the tests.
 package service
@@ -252,13 +262,17 @@ type JobView struct {
 	Result  *graph.RunReport `json:"result,omitempty"`
 }
 
-// StatsView is the JSON body of GET /v1/stats.
+// StatsView is the JSON body of GET /v1/stats — a point-in-time JSON mirror
+// of the counters GET /metrics exposes in Prometheus form. UptimeSeconds
+// duplicates UptimeMS in the unit monitoring tooling expects; UptimeMS stays
+// for existing consumers.
 type StatsView struct {
-	UptimeMS float64       `json:"uptimeMs"`
-	Workers  int           `json:"workers"`
-	Graphs   RegistryStats `json:"graphs"`
-	Jobs     JobStats      `json:"jobs"`
-	Cache    CacheStats    `json:"cache"`
+	UptimeMS      float64       `json:"uptimeMs"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Workers       int           `json:"workers"`
+	Graphs        RegistryStats `json:"graphs"`
+	Jobs          JobStats      `json:"jobs"`
+	Cache         CacheStats    `json:"cache"`
 }
 
 // RegistryStats summarizes the graph registry.
@@ -270,6 +284,14 @@ type RegistryStats struct {
 }
 
 // JobStats counts jobs by state plus queue occupancy.
+//
+// Retention-window caveat: Done, Failed, Canceled and Submitted are
+// monotonic lifetime totals that survive retention pruning (they are the
+// numbers behind the service_jobs_*_total counters in /metrics), but Queued
+// and Running are scanned from the *retained* job set — after the retention
+// window prunes a terminal job it no longer appears anywhere except the
+// lifetime totals, so Done+Failed+Canceled will exceed the number of jobs
+// still pollable via GET /v1/jobs/{id}.
 type JobStats struct {
 	Submitted int64 `json:"submitted"`
 	Queued    int   `json:"queued"`

@@ -37,6 +37,7 @@ import (
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -55,6 +56,9 @@ type Config struct {
 	// BatchSize is the number of edges per routed batch (default
 	// DefaultBatchSize).
 	BatchSize int
+	// Trace receives span-style shard events (shard.start/shard.end with
+	// edge and batch totals). Nil, the zero value, disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c Config) batchSize() int {
@@ -330,6 +334,7 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 	buf := make([]graph.Edge, bs)
 	pending := make([][]graph.Edge, k)
 	total, batches := 0, 0
+	endShard := cfg.Trace.Span("shard", "k", k)
 	var srcErr error
 	send := func(i int) bool {
 		select {
@@ -370,6 +375,7 @@ shard:
 		}
 	}
 	if srcErr != nil {
+		endShard("err", srcErr.Error())
 		close(abort)
 		closeAll()
 		wg.Wait()
@@ -377,6 +383,7 @@ shard:
 	}
 	for i, p := range pending {
 		if len(p) > 0 && !send(i) {
+			endShard("err", "canceled")
 			close(abort)
 			closeAll()
 			wg.Wait()
@@ -384,6 +391,7 @@ shard:
 		}
 	}
 	closeAll()
+	endShard("edges", total, "batches", batches)
 
 	nFinal = src.NumVertices()
 	close(nReady)
