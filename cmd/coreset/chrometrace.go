@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// traceEvent is one Chrome trace-event (the JSON object format Perfetto and
+// chrome://tracing load). Only the two event kinds the timeline needs are
+// emitted: "X" complete events carrying a duration, and "M" metadata events
+// naming the processes. Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace assembles a cluster run report into a Perfetto-loadable
+// timeline: pid 0 is the coordinator, pid m+1 is machine m, and each round is
+// one track (tid = round index). The coordinator's span is the round's
+// measured wall time; each machine's decode/build/encode spans are the phase
+// wall times its TELEM frame reported, laid out back to back from the round's
+// start (workers report durations, not absolute times, so the layout shows
+// relative phase cost rather than true concurrency). Rounds are placed end to
+// end on the time axis, mirroring the sequential round driver.
+//
+// Everything but the ts/dur values is a deterministic function of the run
+// configuration, which is what makes the output golden-testable.
+func chromeTrace(rep *graph.RunReport) []traceEvent {
+	type roundView struct {
+		round    int
+		durUS    float64
+		machines []graph.MachineStats
+	}
+	var rv []roundView
+	if len(rep.RoundStats) > 0 {
+		for _, rs := range rep.RoundStats {
+			rv = append(rv, roundView{rs.Round, rs.DurationMS * 1000, rs.MachineStats})
+		}
+	} else {
+		// Single-round run: the report's top-level breakdown is the round.
+		rv = []roundView{{0, rep.DurationMS * 1000, rep.MachineStats}}
+	}
+
+	// Name every process that appears: the coordinator plus each machine
+	// seen in any round's breakdown.
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0, Ts: 0,
+		Args: map[string]any{"name": "coordinator"},
+	}}
+	seen := map[int]bool{}
+	for _, r := range rv {
+		for _, m := range r.machines {
+			if !seen[m.Machine] {
+				seen[m.Machine] = true
+				events = append(events, traceEvent{
+					Name: "process_name", Ph: "M", Pid: m.Machine + 1, Tid: 0, Ts: 0,
+					Args: map[string]any{"name": fmt.Sprintf("machine %d", m.Machine)},
+				})
+			}
+		}
+	}
+
+	ts := 0.0
+	for _, r := range rv {
+		events = append(events, traceEvent{
+			Name: fmt.Sprintf("round %d", r.round), Ph: "X", Pid: 0, Tid: r.round,
+			Ts: ts, Dur: r.durUS,
+			Args: map[string]any{"machines": len(r.machines)},
+		})
+		for _, m := range r.machines {
+			args := map[string]any{
+				"edgesIn":     m.EdgesIn,
+				"repairIters": m.RepairIters,
+				"removals":    m.Removals,
+				"peakCoreset": m.PeakCoreset,
+				"replayed":    m.Replayed,
+			}
+			at := ts
+			for _, ph := range []struct {
+				name  string
+				durUS float64
+			}{
+				{"decode", m.DecodeMS * 1000},
+				{"build", m.BuildMS * 1000},
+				{"encode", m.EncodeMS * 1000},
+			} {
+				events = append(events, traceEvent{
+					Name: ph.name, Ph: "X", Pid: m.Machine + 1, Tid: r.round,
+					Ts: at, Dur: ph.durUS, Args: args,
+				})
+				at += ph.durUS
+			}
+		}
+		ts += r.durUS
+	}
+	return events
+}
+
+// writeChromeTrace writes the run's timeline as Chrome trace-event JSON
+// (the {"traceEvents": [...]} envelope) to path.
+func writeChromeTrace(path string, rep *graph.RunReport) error {
+	data, err := json.MarshalIndent(map[string]any{"traceEvents": chromeTrace(rep)}, "", " ")
+	if err != nil {
+		return fmt.Errorf("assembling trace: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}

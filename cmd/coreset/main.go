@@ -49,7 +49,16 @@
 //
 // With -trace the run logs span events to stderr (run.start/run.end, plus
 // per-round spans for -rounds and shard spans for -stream), each stamped
-// with a run ID derived deterministically from -seed.
+// with a run ID derived deterministically from -seed. Cluster runs ship that
+// run ID to every worker in the HELLO frame, so a worker started with
+// coresetworker -trace logs spans carrying the same run ID and the two
+// streams can be joined by grep.
+//
+// With -cluster, -trace-out FILE additionally writes the run's timeline as
+// Chrome trace-event JSON assembled from the workers' per-machine phase
+// telemetry: one process per machine (pid 0 is the coordinator), one track
+// per round, with decode/build/encode spans per machine. Load the file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // The input format is one "u v" edge per line, optionally preceded by a
 // header "p <n> <m>"; lines starting with '#' or '%' are comments.
@@ -109,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet     = fs.Bool("q", false, "print only the summary line")
 		jsonOut   = fs.Bool("json", false, "emit the run report as JSON (graph.RunReport schema)")
 		traceF    = fs.Bool("trace", false, "log run and round spans to stderr (run ID derived from -seed)")
+		traceOut  = fs.String("trace-out", "", "cluster only: write the run timeline as Chrome trace-event JSON to FILE (view in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -134,6 +144,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coreset: -max-retries requires -cluster (replay only exists in the cluster runtime)")
 		return 2
 	}
+	if *clusterTo == "" && *traceOut != "" {
+		fmt.Fprintln(stderr, "coreset: -trace-out requires -cluster (the timeline is built from worker phase telemetry)")
+		return 2
+	}
 	// The tracer derives its run ID from the root seed, so repeated runs of
 	// the same configuration produce identical trace streams (modulo
 	// durations) — which is what makes the trace output golden-testable.
@@ -152,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var code int
 	switch mode {
 	case "cluster":
-		code = runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *traceOut, *quiet, *jsonOut, tracer, stdout, stderr)
 	case "stream":
 		code = runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
 	default:
@@ -183,6 +197,20 @@ func printRoundStats(stdout io.Writer, st *rnd.Stats, measured bool) {
 			fmt.Fprintf(stdout, "    recovery: %d replay attempts, machines replayed %v\n",
 				rs.Retries, rs.ReplayedMachines)
 		}
+		printMachineStats(stdout, rs.MachineStats, "    ")
+	}
+}
+
+// printMachineStats prints the per-machine phase telemetry the workers
+// reported in their TELEM frames (cluster runs only; empty elsewhere).
+func printMachineStats(stdout io.Writer, ms []graph.MachineStats, indent string) {
+	for _, m := range ms {
+		replayed := ""
+		if m.Replayed {
+			replayed = " (replayed)"
+		}
+		fmt.Fprintf(stdout, "%smachine %d: decode %.2fms build %.2fms encode %.2fms; %d edges in, %d repair iters, %d removals, peak |H| %d%s\n",
+			indent, m.Machine, m.DecodeMS, m.BuildMS, m.EncodeMS, m.EdgesIn, m.RepairIters, m.Removals, m.PeakCoreset, replayed)
 	}
 }
 
@@ -418,7 +446,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec, traceOut string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -439,8 +467,27 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 	if retries < 0 {
 		retries = cluster.DefaultMaxRetries // -1 means unset: replay on by default
 	}
-	cfg := cluster.Config{Workers: addrs, Seed: seed, BatchSize: batch, MaxRetries: retries}
+	// The run ID shipped to every worker in the HELLO frame is the same
+	// seed-derived ID -trace stamps on coordinator spans, so worker-side
+	// trace streams join the coordinator's without coordination.
+	cfg := cluster.Config{Workers: addrs, Seed: seed, BatchSize: batch, MaxRetries: retries, RunID: obs.RunIDFromSeed(seed)}
 	ctx := context.Background()
+
+	// emit finishes a successful run: the Perfetto timeline first (it must
+	// be written even for -q and -json runs), then the JSON report when
+	// asked. Returns the exit code, or -1 to continue with text output.
+	emit := func(rep *graph.RunReport) int {
+		if traceOut != "" {
+			if err := writeChromeTrace(traceOut, rep); err != nil {
+				fmt.Fprintln(stderr, "coreset:", err)
+				return 1
+			}
+		}
+		if jsonOut {
+			return emitReport(stdout, rep)
+		}
+		return -1
+	}
 
 	switch task {
 	case "matching":
@@ -449,8 +496,8 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
 		}
-		if jsonOut {
-			return emitReport(stdout, st.Report(task, seed, m.Size()))
+		if code := emit(st.Report(task, seed, m.Size())); code >= 0 {
+			return code
 		}
 		if !quiet {
 			printClusterStats(stdout, st)
@@ -463,8 +510,8 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
 		}
-		if jsonOut {
-			return emitReport(stdout, st.Report(task, seed, len(cover)))
+		if code := emit(st.Report(task, seed, len(cover))); code >= 0 {
+			return code
 		}
 		if !quiet {
 			printClusterStats(stdout, st)
@@ -480,8 +527,8 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 				fmt.Fprintln(stderr, "coreset:", err)
 				return 1
 			}
-			if jsonOut {
-				return emitReport(stdout, st.Report("cluster", seed, m.Size(), p.Beta))
+			if code := emit(st.Report("cluster", seed, m.Size(), p.Beta)); code >= 0 {
+				return code
 			}
 			if !quiet {
 				printRoundStats(stdout, st, true)
@@ -494,10 +541,10 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
 		}
-		if jsonOut {
-			rep := st.Report(task, seed, m.Size())
-			rep.Beta = p.Beta
-			return emitReport(stdout, rep)
+		rep := st.Report(task, seed, m.Size())
+		rep.Beta = p.Beta
+		if code := emit(rep); code >= 0 {
+			return code
 		}
 		if !quiet {
 			printClusterStats(stdout, st)
@@ -522,6 +569,7 @@ func printClusterStats(stdout io.Writer, st *cluster.Stats) {
 		fmt.Fprintf(stdout, "recovery: %d replay attempts, machines replayed %v\n",
 			st.Retries, st.ReplayedMachines)
 	}
+	printMachineStats(stdout, st.MachineStats, "  ")
 }
 
 func printStreamStats(stdout io.Writer, st *stream.Stats) {

@@ -18,10 +18,13 @@
 // rides in the job request (and its cache key), against a cluster each job
 // holds one multi-round session over the fleet.
 //
-// With -scrape (service target) the tool snapshots GET /metrics before and
-// after the run and prints the counter deltas attributable to the workload
-// next to the latency percentiles — submitted/done totals, cache traffic,
-// and (for mode cluster) the wire byte counters.
+// With -scrape URL[,URL...] the tool snapshots each URL's GET /metrics
+// before and after the run and prints the counter deltas attributable to the
+// workload next to the latency percentiles. The URLs are explicit so one run
+// can watch every metrics surface a deployment exposes side by side: the
+// coresetd daemon (-addr base; submitted/done totals, cache traffic, wire
+// byte counters) and each coresetworker's -admin listener (per-worker frame,
+// byte and phase counters), against either target.
 //
 // Usage:
 //
@@ -80,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds    = fs.Int("seeds", 4, "distinct job seeds to cycle (repeats hit the service cache)")
 		warmup   = fs.Int("warmup", -1, "jobs excluded from latency percentiles as warmup (-1 = auto: one wave of clients for -target cluster, 0 for service)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-job completion timeout")
-		scrape   = fs.Bool("scrape", false, "snapshot GET /metrics around the run and print counter deltas (-target service)")
+		scrape   = fs.String("scrape", "", "comma-separated base URLs to snapshot GET /metrics around the run (coresetd -addr, coresetworker -admin); deltas print per URL")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -100,8 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
-	if *scrape && *target != "service" {
-		fmt.Fprintln(stderr, "coresetload: -scrape requires -target service (only coresetd serves /metrics)")
+	scrapers, err := newScrapeSet(*scrape)
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
 	if *target == "cluster" {
@@ -111,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w < 0 {
 			w = *conc
 		}
-		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *retries, *timeout, stdout, stderr)
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *retries, *timeout, scrapers, stdout, stderr)
 	}
 	if *target != "service" {
 		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
@@ -135,13 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "graph %s: %s n=%d\n", info.ID, *genName, info.N)
 
-	var before map[string]float64
-	if *scrape {
-		var err error
-		if before, err = lg.scrape(); err != nil {
-			fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
-			return 1
-		}
+	before, err := scrapers.snapshot()
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+		return 1
 	}
 
 	var (
@@ -203,31 +204,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "server: %d done / %d failed / %d canceled; cache %d hits / %d misses\n",
 		st.Jobs.Done, st.Jobs.Failed, st.Jobs.Canceled, st.Cache.Hits, st.Cache.Misses)
-	if *scrape {
-		after, err := lg.scrape()
-		if err != nil {
-			fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
-			return 1
-		}
-		printMetricDeltas(stdout, before, after)
+	after, err := scrapers.snapshot()
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+		return 1
 	}
+	scrapers.printDeltas(stdout, before, after)
 	if failures > 0 {
 		return 1
 	}
 	return 0
 }
 
-// scrape fetches and parses the daemon's /metrics exposition.
-func (l *loadgen) scrape() (map[string]float64, error) {
-	resp, err := l.client.Get(l.base + "/metrics")
+// scrapeSet is the set of /metrics surfaces -scrape snapshots around a run:
+// each URL is a base (a coresetd -addr or a coresetworker -admin listener)
+// whose GET /metrics is fetched before and after the workload. A nil set —
+// the flag unset — costs nothing.
+type scrapeSet struct {
+	urls   []string
+	client *http.Client
+}
+
+func newScrapeSet(spec string) (*scrapeSet, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var urls []string
+	for _, u := range strings.Split(spec, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, errors.New("-scrape: empty URL in list")
+		}
+		urls = append(urls, u)
+	}
+	return &scrapeSet{urls: urls, client: &http.Client{Timeout: 30 * time.Second}}, nil
+}
+
+// snapshot fetches and parses every surface's exposition, keyed by base URL.
+func (s *scrapeSet) snapshot() (map[string]map[string]float64, error) {
+	if s == nil {
+		return nil, nil
+	}
+	out := make(map[string]map[string]float64, len(s.urls))
+	for _, u := range s.urls {
+		m, err := s.scrapeOne(u)
+		if err != nil {
+			return nil, err
+		}
+		out[u] = m
+	}
+	return out, nil
+}
+
+func (s *scrapeSet) scrapeOne(base string) (map[string]float64, error) {
+	resp, err := s.client.Get(base + "/metrics")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+		return nil, fmt.Errorf("GET %s/metrics: HTTP %d", base, resp.StatusCode)
 	}
 	return obs.ParseText(resp.Body)
+}
+
+// printDeltas prints each surface's moved counters under its own header, so
+// per-worker frame/byte deltas line up next to the service's job totals.
+func (s *scrapeSet) printDeltas(w io.Writer, before, after map[string]map[string]float64) {
+	if s == nil {
+		return
+	}
+	for _, u := range s.urls {
+		fmt.Fprintf(w, "metrics delta over the run (%s):\n", u)
+		printMetricDeltas(w, before[u], after[u])
+	}
 }
 
 // printMetricDeltas prints every counter that moved during the run, so the
@@ -249,7 +299,6 @@ func printMetricDeltas(w io.Writer, before, after map[string]float64) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintln(w, "metrics delta over the run:")
 	for _, name := range names {
 		fmt.Fprintf(w, "  %-60s +%g\n", name, after[name]-before[name])
 	}
@@ -271,7 +320,7 @@ func metricBase(name string) string {
 // replays through the in-process streaming runtime so the two latency
 // distributions print side by side. Concurrent clients exercise the workers'
 // many-runs-at-once path.
-func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup, maxRetries int, timeout time.Duration, stdout, stderr io.Writer) int {
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup, maxRetries int, timeout time.Duration, scrapers *scrapeSet, stdout, stderr io.Writer) int {
 	if clusterW == "" {
 		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
 		return 2
@@ -295,6 +344,12 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 	}
 	fmt.Fprintf(stdout, "cluster: %d workers, %s n=%d, task %s, %d jobs x %d clients\n",
 		len(addrs), genName, n, task, jobs, conc)
+
+	before, err := scrapers.snapshot()
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+		return 1
+	}
 
 	p := edcs.ParamsForBeta(beta)
 	rcfg := rounds.Config{K: len(addrs), Rounds: roundCap, Seed: 0, Params: p}
@@ -406,9 +461,17 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 	}
 
 	cl, cf, cr, cw := fire("cluster")
+	// Snapshot before the in-process replay: only the cluster wave touches
+	// the workers, so the window should close with it.
+	after, err := scrapers.snapshot()
+	if err != nil {
+		fmt.Fprintln(stderr, "coresetload: scraping /metrics:", err)
+		return 1
+	}
 	sl, sf, sr, sw := fire("in-process")
 	okC := report("cluster", cl, cf, cr, cw)
 	okS := report("in-process", sl, sf, sr, sw)
+	scrapers.printDeltas(stdout, before, after)
 	if !okC || !okS {
 		return 1
 	}

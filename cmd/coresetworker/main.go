@@ -20,6 +20,14 @@
 // contract SpawnLocal uses so orphaned workers die with their parent — the
 // worker stops accepting, drains in-flight runs (bounded by -drain) and
 // exits.
+//
+// With -admin ADDR a second listener serves the operational surface, the
+// same contract as coresetd -admin: GET /metrics (Prometheus text: frame and
+// byte counters by direction, per-phase latency histograms, runs served),
+// GET /healthz, and net/http/pprof under /debug/pprof/. With -trace the
+// worker logs run and round spans to stderr; each span carries the run ID
+// the coordinator shipped in its HELLO, so worker streams join the
+// coordinator's -trace stream by run ID.
 package main
 
 import (
@@ -30,12 +38,15 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -50,6 +61,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight runs")
 		stdinEOF  = fs.Bool("exit-on-stdin-eof", false, "shut down when stdin closes (set by self-spawn parents)")
 		quietLogs = fs.Bool("q", false, "suppress per-run abort logging")
+		admin     = fs.String("admin", "", "optional admin listener address serving /metrics, /healthz and /debug/pprof/")
+		trace     = fs.Bool("trace", false, "log run and round spans to stderr (run IDs join the coordinator's trace stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,6 +87,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	logger.Printf("serving on %s", ln.Addr())
 
 	w := cluster.NewWorker(logger)
+	var tracer *obs.Tracer
+	if *trace {
+		// The empty base run ID is deliberate: every span is stamped with the
+		// run ID the coordinator's HELLO carries, never a locally minted one.
+		tracer = obs.NewTextTracer(stderr, "")
+	}
+	reg := obs.NewRegistry()
+	w.Instrument(tracer, reg)
+
+	// The admin listener keeps the operational surface (metrics, profiling)
+	// off the coordinator-facing port — the same split coresetd -admin makes.
+	var adminSrv *http.Server
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			logger.Printf("admin listen: %v", err)
+			fmt.Fprintln(stderr, "coresetworker: admin listen:", err)
+			return 1
+		}
+		adminSrv = &http.Server{Addr: *admin, Handler: adminMux(reg)}
+		// A second machine-readable line so harnesses that bind the admin
+		// surface to port 0 can find it (same contract as the ready line).
+		fmt.Fprintf(stdout, "CORESETWORKER ADMIN %s\n", aln.Addr())
+		logger.Printf("admin surface on %s (/metrics, /healthz, /debug/pprof/)", aln.Addr())
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("admin serve: %v", err)
+			}
+		}()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- w.Serve(ln) }()
 
@@ -99,10 +143,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(dctx); err != nil {
+			logger.Printf("admin shutdown: %v", err)
+		}
+	}
 	if err := w.Shutdown(dctx); err != nil {
 		logger.Printf("drain incomplete: %v (served %d runs)", err, w.Served())
 		return 1
 	}
 	logger.Printf("drained cleanly (served %d runs)", w.Served())
 	return 0
+}
+
+// adminMux builds the operational handler: the worker's metric registry plus
+// a liveness probe and the stdlib pprof endpoints — the same contract as
+// coresetd -admin, so one set of scrape and profiling tooling covers both.
+func adminMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -145,4 +145,23 @@
 // schema (cmd/coreset -json), and cmd/coresetload is the matching load
 // generator (-target service drives the HTTP API, -target cluster drives a
 // worker fleet directly).
+//
+// Observability (internal/obs) is dependency-free and off by default: the
+// runtimes report through an injected obs.Sink and a nil-safe *obs.Tracer,
+// both free when unset (BenchmarkObsOverhead, baseline BENCH_obs.json).
+// Tracing is cross-process: the coordinator derives a run ID from the root
+// seed (deterministic, so fixed-seed traces reproduce) or mints one per
+// daemon job, ships it to every worker in the HELLO frame, and a worker
+// started with -trace stamps its own spans with that ID — one grep over the
+// combined slog streams reconstructs a distributed run. The workers answer
+// with in-band telemetry: a TELEM frame per round carrying phase wall times
+// (shard decode, insert/repair, coreset encode) and build counters, which
+// the coordinator folds into the run report's per-machine breakdown
+// (graph.MachineStats; replayed machines report their replacement attempt).
+// The same breakdown exports as a Perfetto-loadable Chrome trace timeline
+// (cmd/coreset -trace-out). Both daemons expose the operational surface —
+// /metrics in Prometheus text exposition, /healthz, pprof — via -admin
+// (cmd/coresetd, cmd/coresetworker), and cmd/coresetload -scrape snapshots
+// any set of those surfaces around a load run and prints per-URL counter
+// deltas.
 package repro

@@ -55,11 +55,18 @@ import (
 // nil Sink reports nothing. cluster_replays_total is the acceptance signal
 // for fault tolerance: it advances once per machine whose round was
 // successfully replayed after a worker loss.
+// The per-connection names (frames, shard/coreset/telem bytes) are reported
+// through obs.CountBy with a "machine" label, so a KeyedSink sees a
+// per-machine breakdown while a plain Sink sees the same totals unlabeled.
+// MetricTelemBytes counts TELEM frame traffic separately from
+// MetricCoresetBytes: telemetry is measurement overhead, never part of the
+// coreset communication the paper's model charges.
 const (
 	MetricFramesSent     = "cluster_frames_sent_total"
 	MetricFramesReceived = "cluster_frames_received_total"
 	MetricShardBytes     = "cluster_shard_bytes_total"
 	MetricCoresetBytes   = "cluster_coreset_bytes_total"
+	MetricTelemBytes     = "cluster_telem_bytes_total"
 	MetricDialAttempts   = "cluster_dial_attempts_total"
 	MetricBackoffSleeps  = "cluster_backoff_sleeps_total"
 	MetricRetries        = "cluster_retries_total"
@@ -127,8 +134,15 @@ type Config struct {
 	Spares []string
 	// Obs receives wire-level events (frames, bytes, dial attempts, backoff
 	// sleeps, retries, replays — the Metric* names above) as they happen.
-	// Nil, the zero value, keeps the library silent.
+	// Nil, the zero value, keeps the library silent. Sinks implementing
+	// obs.KeyedSink additionally see the per-connection counters broken down
+	// by machine index.
 	Obs obs.Sink
+	// RunID is the coordinator's trace run ID, shipped to every worker in
+	// the HELLO frame so worker-side spans (coresetworker -trace) join the
+	// coordinator's trace stream. Empty is fine: workers still return
+	// telemetry, their spans just carry no run attribute.
+	RunID string
 }
 
 func (c Config) batchSize() int {
@@ -282,6 +296,14 @@ type Stats struct {
 	Retries          int
 	ReplayedMachines []int
 
+	// MachineStats is the per-machine telemetry breakdown, one entry per
+	// machine in index order: the worker's phase wall times and build
+	// counters from its TELEM frame. A worker without the telemetry
+	// capability still gets an entry with the phase fields zero; a replayed
+	// machine's entry describes the replacement attempt and is marked
+	// Replayed.
+	MachineStats []graph.MachineStats
+
 	CompositionEdges int
 	Duration         time.Duration
 }
@@ -318,6 +340,7 @@ func (s *Stats) Report(task string, seed uint64, solutionSize int) *graph.RunRep
 		ShardBytes:         s.ShardBytes,
 		Retries:            s.Retries,
 		ReplayedMachines:   s.ReplayedMachines,
+		MachineStats:       s.MachineStats,
 		CompositionEdges:   s.CompositionEdges,
 		Batches:            s.Batches,
 		DurationMS:         float64(s.Duration.Microseconds()) / 1000,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,8 +94,9 @@ func VertexCover(ctx context.Context, src stream.EdgeSource, cfg Config) ([]grap
 type workerResult struct {
 	machine int
 	sum     stream.Summary
-	wire    int // measured CORESET frame bytes (worker -> coordinator)
-	sent    int // measured HELLO+SHARD+EOS bytes (coordinator -> worker)
+	wire    int          // measured CORESET frame bytes (worker -> coordinator)
+	sent    int          // measured HELLO+SHARD+EOS bytes (coordinator -> worker)
+	telem   *workerTelem // decoded TELEM payload; nil when the worker omitted it
 	err     error
 }
 
@@ -203,10 +205,10 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			stopWatch := closeOnCancel(runCtx, conn)
 			defer stopWatch()
 
-			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep}
+			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
 			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			res.sent += n
-			countSent(cfg.Obs, n, err)
+			countSent(cfg.Obs, machine, n, err)
 			if err != nil {
 				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
@@ -273,7 +275,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			cfg: cfg, task: task, seed: cfg.Seed, k: k, nFinal: nFinal,
 			addrs: addrs, spares: &spares,
 			helloFor: func(m int) hello {
-				return hello{version: protocolVersion, task: task, machine: m, k: k, known: known, n: nHint, edcs: ep}
+				return hello{version: protocolVersion, task: task, machine: m, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
 			},
 		}
 		var err error
@@ -297,6 +299,11 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 		Live:             make([]int, k),
 		Retries:          nRetries,
 		ReplayedMachines: replayedMachines,
+		MachineStats:     make([]graph.MachineStats, k),
+	}
+	wasReplayed := make(map[int]bool, len(replayedMachines))
+	for _, m := range replayedMachines {
+		wasReplayed[m] = true
 	}
 	for _, r := range byMachine {
 		sums[r.machine] = r.sum
@@ -312,6 +319,14 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			st.EstMaxMachineBytes = r.sum.Bytes
 		}
 		st.ShardBytes += r.sent
+		// Per-machine breakdown: a worker without the telemetry capability
+		// still gets an entry (edges from its Summary, phase fields zero).
+		ms := graph.MachineStats{Machine: r.machine, EdgesIn: r.sum.Edges}
+		if r.telem != nil {
+			ms = r.telem.machineStats(r.machine)
+		}
+		ms.Replayed = wasReplayed[r.machine]
+		st.MachineStats[r.machine] = ms
 	}
 	st.Duration = time.Since(start)
 	return sums, st, nil
@@ -352,7 +367,7 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 		buf = graph.AppendEdgeBatch(buf[:0], batch)
 		n, err := writeFrameDeadline(conn, iot, frameShard, buf)
 		res.sent += n
-		countSent(sink, n, err)
+		countSent(sink, res.machine, n, err)
 		if err != nil {
 			fail(ioKind(err), fmt.Errorf("shard stream: %w", err))
 			return
@@ -366,7 +381,7 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 	}
 	n, err := writeFrameDeadline(conn, iot, frameEOS, binary.AppendUvarint(nil, uint64(*nFinal)))
 	res.sent += n
-	countSent(sink, n, err)
+	countSent(sink, res.machine, n, err)
 	if err != nil {
 		fail(ioKind(err), fmt.Errorf("EOS: %w", err))
 		return
@@ -377,6 +392,24 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 		fail(ioKind(err), fmt.Errorf("awaiting CORESET: %w", err))
 		return
 	}
+	// A telemetry-capable worker answers EOS with TELEM then CORESET; an old
+	// worker sends a bare CORESET and the machine's phase telemetry stays
+	// zero. A corrupt TELEM is KindProtocol, like any corrupt frame: a peer
+	// that garbles telemetry cannot be trusted about the coreset either.
+	if typ == frameTelem {
+		t, terr := decodeTelem(payload)
+		if terr != nil {
+			fail(KindProtocol, terr)
+			return
+		}
+		res.telem = &t
+		countTelem(sink, res.machine, frameLen)
+		typ, payload, frameLen, err = readFrameDeadline(conn, iot)
+		if err != nil {
+			fail(ioKind(err), fmt.Errorf("awaiting CORESET: %w", err))
+			return
+		}
+	}
 	switch typ {
 	case frameCoreset:
 		sum, err := decodeSummary(task, payload)
@@ -385,7 +418,7 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 			return
 		}
 		res.sum, res.wire = sum, frameLen
-		countReceived(sink, frameLen)
+		countReceived(sink, res.machine, frameLen)
 	case frameError:
 		fail(KindProtocol, fmt.Errorf("remote: %s", payload))
 	default:
@@ -393,26 +426,39 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 	}
 }
 
-// countSent reports one coordinator-to-worker frame write to the sink: the
-// bytes that made it onto the wire always count, the frame only when the
-// write fully succeeded.
-func countSent(sink obs.Sink, n int, err error) {
+// countSent reports one coordinator-to-worker frame write to the sink, under
+// the writing machine's label: the bytes that made it onto the wire always
+// count, the frame only when the write fully succeeded.
+func countSent(sink obs.Sink, machine, n int, err error) {
 	if sink == nil {
 		return
 	}
-	obs.Count(sink, MetricShardBytes, int64(n))
+	lbl := strconv.Itoa(machine)
+	obs.CountBy(sink, MetricShardBytes, "machine", lbl, int64(n))
 	if err == nil {
-		obs.Count(sink, MetricFramesSent, 1)
+		obs.CountBy(sink, MetricFramesSent, "machine", lbl, 1)
 	}
 }
 
 // countReceived reports one CORESET frame read off a worker connection.
-func countReceived(sink obs.Sink, frameLen int) {
+func countReceived(sink obs.Sink, machine, frameLen int) {
 	if sink == nil {
 		return
 	}
-	obs.Count(sink, MetricFramesReceived, 1)
-	obs.Count(sink, MetricCoresetBytes, int64(frameLen))
+	lbl := strconv.Itoa(machine)
+	obs.CountBy(sink, MetricFramesReceived, "machine", lbl, 1)
+	obs.CountBy(sink, MetricCoresetBytes, "machine", lbl, int64(frameLen))
+}
+
+// countTelem reports one TELEM frame read off a worker connection. Its bytes
+// land in their own metric, never in the coreset communication accounting.
+func countTelem(sink obs.Sink, machine, frameLen int) {
+	if sink == nil {
+		return
+	}
+	lbl := strconv.Itoa(machine)
+	obs.CountBy(sink, MetricFramesReceived, "machine", lbl, 1)
+	obs.CountBy(sink, MetricTelemBytes, "machine", lbl, int64(frameLen))
 }
 
 // shardSource reads src to exhaustion and routes every edge to the

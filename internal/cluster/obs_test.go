@@ -49,8 +49,8 @@ func TestObsCleanRun(t *testing.T) {
 	if got := sink.get(MetricDialAttempts); got != 3 {
 		t.Errorf("%s = %d, want 3", MetricDialAttempts, got)
 	}
-	if got := sink.get(MetricFramesReceived); got != 3 {
-		t.Errorf("%s = %d, want 3 (one CORESET per machine)", MetricFramesReceived, got)
+	if got := sink.get(MetricFramesReceived); got != 6 {
+		t.Errorf("%s = %d, want 6 (one TELEM + one CORESET per machine)", MetricFramesReceived, got)
 	}
 	// The sink's byte accounting must agree with the Stats the run reports.
 	if got := sink.get(MetricShardBytes); got != int64(st.ShardBytes) {

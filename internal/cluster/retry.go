@@ -106,10 +106,11 @@ type replayer struct {
 
 // replayConn is one machine's live replay attempt within a wave.
 type replayConn struct {
-	conn net.Conn
-	sent int // coordinator-to-worker bytes of this attempt
-	sum  stream.Summary
-	wire int // measured CORESET frame bytes
+	conn  net.Conn
+	sent  int // coordinator-to-worker bytes of this attempt
+	sum   stream.Summary
+	wire  int          // measured CORESET frame bytes
+	telem *workerTelem // TELEM payload of this attempt (nil if omitted)
 }
 
 // replay drives replay waves until failed is empty or a budget runs out.
@@ -226,7 +227,10 @@ func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine 
 				continue
 			}
 			old := byMachine[m]
-			byMachine[m] = workerResult{machine: m, sum: rc.sum, wire: rc.wire, sent: old.sent + rc.sent}
+			// Telemetry describes the replacement attempt only: the failed
+			// attempt's partial phases never mix in. Sent bytes accumulate
+			// (ShardBytes stays honest about every byte actually sent).
+			byMachine[m] = workerResult{machine: m, sum: rc.sum, wire: rc.wire, sent: old.sent + rc.sent, telem: rc.telem}
 			delete(failed, m)
 			delete(active, m)
 			replayed = append(replayed, m)
@@ -253,7 +257,7 @@ func (r *replayer) handshake(ctx context.Context, dialer *net.Dialer, m int, iot
 	rc := &replayConn{conn: conn}
 	n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(r.helloFor(m)))
 	rc.sent += n
-	countSent(r.cfg.Obs, n, err)
+	countSent(r.cfg.Obs, m, n, err)
 	if err != nil {
 		conn.Close()
 		return nil, &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay handshake: %w", err)}
@@ -289,7 +293,7 @@ func (r *replayer) shardTo(ctx context.Context, src stream.EdgeSource, active ma
 		pending[m] = pending[m][:0]
 		n, err := writeFrameDeadline(rc.conn, iot, frameShard, enc)
 		rc.sent += n
-		countSent(r.cfg.Obs, n, err)
+		countSent(r.cfg.Obs, m, n, err)
 		if err != nil {
 			rc.conn.Close()
 			delete(active, m)
@@ -336,13 +340,26 @@ func (r *replayer) collect(m int, rc *replayConn, iot time.Duration) *WorkerErro
 	addr := r.addrs[m]
 	n, err := writeFrameDeadline(rc.conn, iot, frameEOS, binary.AppendUvarint(nil, uint64(r.nFinal)))
 	rc.sent += n
-	countSent(r.cfg.Obs, n, err)
+	countSent(r.cfg.Obs, m, n, err)
 	if err != nil {
 		return &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay EOS: %w", err)}
 	}
 	typ, payload, frameLen, err := readFrameDeadline(rc.conn, iot)
 	if err != nil {
 		return &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay awaiting CORESET: %w", err)}
+	}
+	// Optional TELEM before the CORESET, exactly as on the fan-out path.
+	if typ == frameTelem {
+		t, terr := decodeTelem(payload)
+		if terr != nil {
+			return &WorkerError{Machine: m, Addr: addr, Kind: KindProtocol, Retryable: false, Err: terr}
+		}
+		rc.telem = &t
+		countTelem(r.cfg.Obs, m, frameLen)
+		typ, payload, frameLen, err = readFrameDeadline(rc.conn, iot)
+		if err != nil {
+			return &WorkerError{Machine: m, Addr: addr, Kind: ioKind(err), Retryable: true, Err: fmt.Errorf("replay awaiting CORESET: %w", err)}
+		}
 	}
 	switch typ {
 	case frameCoreset:
@@ -351,7 +368,7 @@ func (r *replayer) collect(m int, rc *replayConn, iot time.Duration) *WorkerErro
 			return &WorkerError{Machine: m, Addr: addr, Kind: KindProtocol, Retryable: false, Err: err}
 		}
 		rc.sum, rc.wire = sum, frameLen
-		countReceived(r.cfg.Obs, frameLen)
+		countReceived(r.cfg.Obs, m, frameLen)
 		return nil
 	case frameError:
 		return &WorkerError{Machine: m, Addr: addr, Kind: KindProtocol, Retryable: false, Err: fmt.Errorf("remote: %s", payload)}

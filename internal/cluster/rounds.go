@@ -112,10 +112,11 @@ func DialEDCSRounds(ctx context.Context, cfg Config, p edcs.Params, roundCap, nH
 				version: protocolVersion, task: taskEDCSRounds,
 				machine: machine, k: k, known: nHint > 0, n: nHint,
 				edcs: p, rounds: roundCap,
+				telem: true, runID: cfg.RunID,
 			}
 			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			sent[machine] = n
-			countSent(cfg.Obs, n, err)
+			countSent(cfg.Obs, machine, n, err)
 			if err != nil {
 				fail(ioKind(err), fmt.Errorf("handshake: %w", err))
 				return
@@ -281,6 +282,7 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 					version: protocolVersion, task: taskEDCSRounds,
 					machine: m, k: s.k, known: s.nHint > 0, n: s.nHint,
 					edcs: s.p, rounds: s.roundCap - s.roundsRun,
+					telem: true, runID: s.cfg.RunID,
 				}
 			},
 			retire: func(m int) {
@@ -312,9 +314,14 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 		Live:             make([]int, k),
 		Retries:          nRetries,
 		ReplayedMachines: replayedMachines,
+		MachineStats:     make([]graph.MachineStats, k),
 	}
 	if s.roundsRun == 0 {
 		st.ShardBytes += s.helloBytes
+	}
+	wasReplayed := make(map[int]bool, len(replayedMachines))
+	for _, m := range replayedMachines {
+		wasReplayed[m] = true
 	}
 	for _, r := range byMachine {
 		sums[r.machine] = r.sum
@@ -332,6 +339,12 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 			st.EstMaxMachineBytes = r.sum.Bytes
 		}
 		st.ShardBytes += r.sent
+		ms := graph.MachineStats{Machine: r.machine, EdgesIn: r.sum.Edges}
+		if r.telem != nil {
+			ms = r.telem.machineStats(r.machine)
+		}
+		ms.Replayed = wasReplayed[r.machine]
+		st.MachineStats[r.machine] = ms
 	}
 	s.roundsRun++
 	st.Duration = time.Since(start)

@@ -21,10 +21,23 @@ import (
 //
 //	coordinator -> worker   HELLO      task, machine index, k, optional n
 //	                                   (+ EDCS degree constraints for task edcs)
-//	worker -> coordinator   ACK        protocol version echo
+//	                                   (+ run ID when telemetry is requested)
+//	worker -> coordinator   ACK        protocol version echo + capability byte
 //	coordinator -> worker   SHARD*     varint delta edge batch (graph codec)
 //	coordinator -> worker   EOS        final vertex count
+//	worker -> coordinator   TELEM      phase timings + build counters (optional)
 //	worker -> coordinator   CORESET    per-machine stats + coreset message
+//
+// TELEM is capability-negotiated, no version bump: the coordinator sets the
+// telemetry bit in the HELLO flag byte (and appends its run ID, which old
+// workers ignore as trailing bytes), and a capable worker both echoes the
+// capability in its ACK and emits one TELEM frame immediately before each
+// CORESET. A coordinator reading from an old worker sees a bare CORESET and
+// records zeroed phase telemetry for that machine; an old coordinator never
+// sets the bit, so it never sees a TELEM frame. TELEM bytes are deliberately
+// excluded from the coreset communication accounting (TotalCommBytes) — they
+// are measurement overhead, not algorithm traffic — and are tracked under
+// their own metric instead.
 //
 // A multi-round assignment (task taskEDCSRounds) repeats the
 // SHARD*/EOS/CORESET round on the same connection up to the HELLO's round
@@ -56,7 +69,24 @@ const (
 	frameEOS
 	frameCoreset
 	frameError
+	frameTelem
 )
+
+// HELLO flag bits (byte 2 of the payload). Old peers wrote 0x00/0x01 for the
+// known-n boolean, so bit 0 keeps that meaning and bit 1 is the telemetry
+// capability request.
+const (
+	helloFlagKnown byte = 1 << 0
+	helloFlagTelem byte = 1 << 1
+)
+
+// ACK capability bits. A pre-telemetry worker sends a 1-byte ACK (version
+// only), which the coordinator reads as "no capabilities".
+const ackCapTelem byte = 1 << 0
+
+// maxRunIDLen bounds the run ID a worker accepts in HELLO; run IDs here are
+// "r-%08x" (10 bytes), so the cap exists purely against hostile frames.
+const maxRunIDLen = 128
 
 // Task bytes carried in HELLO. taskEDCS extends the HELLO payload with the
 // two EDCS degree constraints; peers that predate it reject the unknown
@@ -74,6 +104,22 @@ const (
 	taskEDCS       byte = 3
 	taskEDCSRounds byte = 4
 )
+
+// taskName returns a task byte's human name for logs and trace spans.
+func taskName(task byte) string {
+	switch task {
+	case taskMatching:
+		return "matching"
+	case taskVC:
+		return "vc"
+	case taskEDCS:
+		return "edcs"
+	case taskEDCSRounds:
+		return "edcs-rounds"
+	default:
+		return fmt.Sprintf("task-0x%02x", task)
+	}
+}
 
 // maxFramePayload bounds a single frame so a corrupt or hostile peer cannot
 // make the receiver allocate without bound. 64 MiB is far above any batch or
@@ -164,12 +210,17 @@ type hello struct {
 	n       int
 	edcs    edcs.Params // taskEDCS and taskEDCSRounds
 	rounds  int         // taskEDCSRounds only: round cap for this run (>= 1)
+	telem   bool        // request per-round TELEM frames from the worker
+	runID   string      // coordinator's trace run ID (sent iff telem)
 }
 
 func encodeHello(h hello) []byte {
 	buf := []byte{h.version, h.task, 0}
 	if h.known {
-		buf[2] = 1
+		buf[2] |= helloFlagKnown
+	}
+	if h.telem {
+		buf[2] |= helloFlagTelem
 	}
 	buf = binary.AppendUvarint(buf, uint64(h.machine))
 	buf = binary.AppendUvarint(buf, uint64(h.k))
@@ -181,6 +232,12 @@ func encodeHello(h hello) []byte {
 	if h.task == taskEDCSRounds {
 		buf = binary.AppendUvarint(buf, uint64(h.rounds))
 	}
+	if h.telem {
+		// Length-prefixed run ID at the tail: a pre-telemetry worker stops
+		// parsing before it and ignores the trailing bytes.
+		buf = binary.AppendUvarint(buf, uint64(len(h.runID)))
+		buf = append(buf, h.runID...)
+	}
 	return buf
 }
 
@@ -189,7 +246,9 @@ func decodeHello(data []byte) (hello, error) {
 	if len(data) < 3 {
 		return h, fmt.Errorf("cluster: short HELLO")
 	}
-	h.version, h.task, h.known = data[0], data[1], data[2] == 1
+	h.version, h.task = data[0], data[1]
+	h.known = data[2]&helloFlagKnown != 0
+	h.telem = data[2]&helloFlagTelem != 0
 	data = data[3:]
 	uvarint := func() (uint64, error) {
 		v, k := binary.Uvarint(data)
@@ -248,7 +307,81 @@ func decodeHello(data []byte) (hello, error) {
 	if h.n < 0 || h.n > maxVertices {
 		return h, fmt.Errorf("cluster: vertex count %d exceeds the cap of %d", h.n, maxVertices)
 	}
+	if h.telem {
+		idLen, err := uvarint()
+		if err != nil {
+			return h, err
+		}
+		if idLen > maxRunIDLen {
+			return h, fmt.Errorf("cluster: run ID length %d exceeds the cap of %d", idLen, maxRunIDLen)
+		}
+		if uint64(len(data)) < idLen {
+			return h, fmt.Errorf("cluster: truncated HELLO run ID")
+		}
+		h.runID = string(data[:idLen])
+	}
 	return h, nil
+}
+
+// workerTelem is the TELEM payload: the worker's phase wall times (its own
+// clock, nanoseconds) and build counters for one round. The counters are a
+// pure function of the machine's shard, so they are seed-deterministic even
+// though the times are not.
+type workerTelem struct {
+	decodeNS    uint64 // shard frame decode
+	buildNS     uint64 // insert + repair
+	encodeNS    uint64 // finish + coreset encode
+	edgesIn     int    // edges ingested this round
+	repairIters int    // EDCS fixpoint rescans (0 for matching/vc)
+	removals    int    // EDCS H evictions (0 for matching/vc)
+	peakCoreset int    // peak |H| (0 for matching/vc)
+}
+
+func appendTelem(dst []byte, t workerTelem) []byte {
+	dst = binary.AppendUvarint(dst, t.decodeNS)
+	dst = binary.AppendUvarint(dst, t.buildNS)
+	dst = binary.AppendUvarint(dst, t.encodeNS)
+	dst = binary.AppendUvarint(dst, uint64(t.edgesIn))
+	dst = binary.AppendUvarint(dst, uint64(t.repairIters))
+	dst = binary.AppendUvarint(dst, uint64(t.removals))
+	dst = binary.AppendUvarint(dst, uint64(t.peakCoreset))
+	return dst
+}
+
+// decodeTelem parses a TELEM payload strictly: a truncated field or trailing
+// garbage is a protocol error (the caller classifies it KindProtocol — a
+// peer that corrupts telemetry cannot be trusted about the coreset either).
+func decodeTelem(data []byte) (workerTelem, error) {
+	var t workerTelem
+	vals := make([]uint64, 7)
+	for i := range vals {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return t, fmt.Errorf("cluster: corrupt TELEM payload")
+		}
+		vals[i], data = v, data[k:]
+	}
+	if len(data) != 0 {
+		return t, fmt.Errorf("cluster: %d trailing bytes after TELEM", len(data))
+	}
+	t.decodeNS, t.buildNS, t.encodeNS = vals[0], vals[1], vals[2]
+	t.edgesIn = int(vals[3])
+	t.repairIters, t.removals, t.peakCoreset = int(vals[4]), int(vals[5]), int(vals[6])
+	return t, nil
+}
+
+// machineStats folds a TELEM payload into the report schema for machine m.
+func (t workerTelem) machineStats(m int) graph.MachineStats {
+	return graph.MachineStats{
+		Machine:     m,
+		DecodeMS:    float64(t.decodeNS) / 1e6,
+		BuildMS:     float64(t.buildNS) / 1e6,
+		EncodeMS:    float64(t.encodeNS) / 1e6,
+		EdgesIn:     t.edgesIn,
+		RepairIters: t.repairIters,
+		Removals:    t.removals,
+		PeakCoreset: t.peakCoreset,
+	}
 }
 
 // appendSummary encodes a machine's end-of-stream summary as the CORESET

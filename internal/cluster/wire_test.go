@@ -67,6 +67,9 @@ func TestHelloRoundTrip(t *testing.T) {
 		{version: protocolVersion, task: taskMatching, machine: 0, k: 1},
 		{version: protocolVersion, task: taskVC, machine: 7, k: 8, known: true, n: 1 << 20},
 		{version: protocolVersion, task: taskEDCS, machine: 2, k: 4, known: true, n: 1 << 10, edcs: edcs.ParamsForBeta(32)},
+		{version: protocolVersion, task: taskMatching, machine: 1, k: 2, telem: true, runID: "r-00c0ffee"},
+		{version: protocolVersion, task: taskEDCS, machine: 0, k: 2, known: true, n: 1 << 8,
+			edcs: edcs.ParamsForBeta(16), telem: true}, // telemetry requested with an empty run ID
 	} {
 		got, err := decodeHello(encodeHello(h))
 		if err != nil {
@@ -91,6 +94,8 @@ func TestHelloRejectsBadFields(t *testing.T) {
 		// EDCS params the dynamic subgraph cannot satisfy, or absurdly large.
 		"edcs-invalid": {version: protocolVersion, task: taskEDCS, k: 1, edcs: edcs.Params{Beta: 4, BetaMinus: 4}},
 		"edcs-huge":    {version: protocolVersion, task: taskEDCS, k: 1, edcs: edcs.Params{Beta: edcs.MaxBeta + 1, BetaMinus: 1}},
+		// A hostile run ID length must be rejected before allocation.
+		"runid-huge": {version: protocolVersion, task: taskMatching, k: 1, telem: true, runID: strings.Repeat("x", maxRunIDLen+1)},
 	} {
 		if _, err := decodeHello(encodeHello(h)); err == nil {
 			t.Fatalf("%s: bad HELLO accepted", name)

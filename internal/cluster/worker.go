@@ -10,8 +10,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -24,6 +26,8 @@ import (
 // the worker nothing but a logged line.
 type Worker struct {
 	logger *log.Logger
+	tracer *obs.Tracer    // nil: silent (Instrument)
+	mx     *workerMetrics // nil: unregistered (Instrument)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -40,6 +44,69 @@ func NewWorker(logger *log.Logger) *Worker {
 		logger = log.New(io.Discard, "", 0)
 	}
 	return &Worker{logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// workerMetrics is the worker's registry wiring: frame and byte counters by
+// direction, and per-phase wall-time histograms.
+type workerMetrics struct {
+	framesIn, framesOut *obs.Counter
+	bytesIn, bytesOut   *obs.Counter
+	phaseDecode         *obs.Histogram
+	phaseBuild          *obs.Histogram
+	phaseEncode         *obs.Histogram
+}
+
+// Instrument attaches a tracer and a metrics registry to the worker; call
+// before Serve. A nil tracer keeps spans silent and a nil registry skips
+// metric registration entirely, so an uninstrumented worker pays nothing.
+// Worker spans are stamped with the run ID each coordinator ships in its
+// HELLO, which is what joins a `coresetworker -trace` log to the
+// coordinator's trace stream.
+func (w *Worker) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	w.tracer = tr
+	if reg == nil {
+		return
+	}
+	frames := reg.CounterVec("worker_frames_total", "protocol frames handled, by direction", "dir")
+	bytes := reg.CounterVec("worker_bytes_total", "protocol wire bytes (headers included), by direction", "dir")
+	phases := reg.HistogramVec("worker_phase_seconds", "per-round phase wall time (shard decode, insert/repair, coreset encode)", obs.DefLatencyBuckets, "phase")
+	reg.CounterFunc("worker_runs_total", "CORESET frames answered (runs, or rounds of multi-round runs)", func() float64 {
+		return float64(w.served.Load())
+	})
+	w.mx = &workerMetrics{
+		framesIn:    frames.With("in"),
+		framesOut:   frames.With("out"),
+		bytesIn:     bytes.With("in"),
+		bytesOut:    bytes.With("out"),
+		phaseDecode: phases.With("decode"),
+		phaseBuild:  phases.With("build"),
+		phaseEncode: phases.With("encode"),
+	}
+}
+
+// countIn/countOut record one frame's wire traffic (nil-safe).
+func (w *Worker) countIn(n int) {
+	if w.mx != nil && n > 0 {
+		w.mx.framesIn.Inc()
+		w.mx.bytesIn.Add(int64(n))
+	}
+}
+
+func (w *Worker) countOut(n int) {
+	if w.mx != nil && n > 0 {
+		w.mx.framesOut.Inc()
+		w.mx.bytesOut.Add(int64(n))
+	}
+}
+
+// observePhases feeds one round's phase times into the histograms (nil-safe).
+func (w *Worker) observePhases(t *workerTelem) {
+	if w.mx == nil {
+		return
+	}
+	w.mx.phaseDecode.Observe(float64(t.decodeNS) / 1e9)
+	w.mx.phaseBuild.Observe(float64(t.buildNS) / 1e9)
+	w.mx.phaseEncode.Observe(float64(t.encodeNS) / 1e9)
 }
 
 // Serve accepts run-assignment connections on ln until the listener is
@@ -151,10 +218,11 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 		return err
 	}
 
-	typ, payload, _, err := readFrame(conn)
+	typ, payload, nr, err := readFrame(conn)
 	if err != nil {
 		return fmt.Errorf("reading HELLO: %w", err)
 	}
+	w.countIn(nr)
 	if typ != frameHello {
 		return fail(fmt.Errorf("cluster: expected HELLO, got frame 0x%02x", typ))
 	}
@@ -166,11 +234,20 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 	if h.known {
 		nHint = h.n
 	}
-	if _, err := writeFrame(conn, frameAck, []byte{protocolVersion}); err != nil {
+	// The ACK advertises the worker's capabilities (it always supports
+	// telemetry); the HELLO's telem bit is what asks it to emit TELEM.
+	nw, err := writeFrame(conn, frameAck, []byte{protocolVersion, ackCapTelem})
+	if err != nil {
 		return fmt.Errorf("writing ACK: %w", err)
 	}
+	w.countOut(nw)
+	// Worker spans join the coordinator's trace stream via the run ID the
+	// HELLO carried (empty when the coordinator is not tracing).
+	tr := w.tracer.WithRun(h.runID)
+	endRun := tr.Span("worker.run", "machine", h.machine, "task", taskName(h.task), "k", h.k)
+	defer func() { endRun() }()
 	if h.task == taskEDCSRounds {
-		return w.serveRounds(conn, h, nHint)
+		return w.serveRounds(conn, h, nHint, tr)
 	}
 	var m *stream.Machine
 	switch h.task {
@@ -182,12 +259,14 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 		m = stream.NewVCMachine(h.k, nHint)
 	}
 
+	tm := new(workerTelem)
 	for {
-		typ, payload, _, err := readFrame(conn)
+		typ, payload, nr, err := readFrame(conn)
 		if err != nil {
 			return fmt.Errorf("machine %d: reading frame: %w", h.machine, err)
 		}
-		done, err := w.consumeFrame(conn, h, m, 0, typ, payload)
+		w.countIn(nr)
+		done, err := w.consumeFrame(conn, h, m, 0, typ, payload, tm)
 		if err != nil || done {
 			return err
 		}
@@ -196,15 +275,18 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 
 // consumeFrame handles one mid-run frame for the given machine: SHARD feeds
 // the builder, EOS finishes it and answers with the CORESET frame (done =
-// true). Shared by the single-round loop and the multi-round loop, so the
-// two paths cannot drift on decoding or validation.
-func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round int, typ byte, payload []byte) (done bool, err error) {
+// true), preceded by a TELEM frame when the HELLO requested telemetry.
+// Shared by the single-round loop and the multi-round loop, so the two paths
+// cannot drift on decoding or validation. tm accumulates the round's phase
+// times and build counters; the caller resets it at round boundaries.
+func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round int, typ byte, payload []byte, tm *workerTelem) (done bool, err error) {
 	fail := func(err error) error {
 		_, _ = writeFrame(conn, frameError, []byte(err.Error()))
 		return err
 	}
 	switch typ {
 	case frameShard:
+		t0 := time.Now()
 		edges, rest, err := graph.DecodeEdgeBatch(payload)
 		if err != nil {
 			return false, fail(err)
@@ -212,9 +294,13 @@ func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round i
 		if len(rest) != 0 {
 			return false, fail(fmt.Errorf("cluster: %d trailing bytes in SHARD", len(rest)))
 		}
+		t1 := time.Now()
 		for _, e := range edges {
 			m.Add(e)
 		}
+		tm.decodeNS += uint64(t1.Sub(t0))
+		tm.buildNS += uint64(time.Since(t1))
+		tm.edgesIn += len(edges)
 		return false, nil
 	case frameEOS:
 		n, k := binary.Uvarint(payload)
@@ -223,10 +309,25 @@ func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round i
 			// one allocation maxFramePayload cannot bound.
 			return false, fail(errors.New("cluster: corrupt EOS"))
 		}
+		t0 := time.Now()
 		sum := m.Finish(int(n))
-		if _, err := writeFrame(conn, frameCoreset, appendSummary(nil, h.task, sum)); err != nil {
+		body := appendSummary(nil, h.task, sum)
+		tm.encodeNS += uint64(time.Since(t0))
+		bt := m.Telem()
+		tm.repairIters, tm.removals, tm.peakCoreset = bt.RepairIters, bt.Removals, bt.PeakCoreset
+		w.observePhases(tm)
+		if h.telem {
+			nw, err := writeFrame(conn, frameTelem, appendTelem(nil, *tm))
+			if err != nil {
+				return false, fmt.Errorf("machine %d round %d: writing TELEM: %w", h.machine, round, err)
+			}
+			w.countOut(nw)
+		}
+		nw, err := writeFrame(conn, frameCoreset, body)
+		if err != nil {
 			return false, fmt.Errorf("machine %d round %d: writing CORESET: %w", h.machine, round, err)
 		}
+		w.countOut(nw)
 		w.served.Add(1)
 		return true, nil
 	default:
@@ -244,12 +345,14 @@ func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round i
 // assignment by closing the connection at a round boundary; a read error
 // before any frame of a new round is therefore a clean end of run, while one
 // mid-round is a real abort.
-func (w *Worker) serveRounds(conn net.Conn, h hello, nHint int) error {
+func (w *Worker) serveRounds(conn net.Conn, h hello, nHint int, tr *obs.Tracer) error {
 	for round := 0; round < h.rounds; round++ {
 		m := stream.NewEDCSMachine(nHint, h.edcs)
+		tm := new(workerTelem) // fresh per round, like the machine
 		inRound := false
+		endRound := func(...any) {}
 		for {
-			typ, payload, _, err := readFrame(conn)
+			typ, payload, nr, err := readFrame(conn)
 			if err != nil {
 				// Only an orderly close (clean EOF before any frame of a new
 				// round) is the documented end-of-run signal; resets,
@@ -260,12 +363,17 @@ func (w *Worker) serveRounds(conn net.Conn, h hello, nHint int) error {
 				}
 				return fmt.Errorf("machine %d round %d: reading frame: %w", h.machine, round, err)
 			}
-			inRound = true
-			done, err := w.consumeFrame(conn, h, m, round, typ, payload)
+			w.countIn(nr)
+			if !inRound {
+				inRound = true
+				endRound = tr.Span("worker.round", "machine", h.machine, "round", round)
+			}
+			done, err := w.consumeFrame(conn, h, m, round, typ, payload, tm)
 			if err != nil {
 				return err
 			}
 			if done {
+				endRound("edges", m.Received())
 				break
 			}
 		}

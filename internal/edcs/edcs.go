@@ -98,9 +98,11 @@ type Subgraph struct {
 	size  int                     // |H|
 	seen  map[graph.Edge]struct{} // canonical endpoints of stored edges (dedup)
 
-	dirty    []graph.ID // vertices whose H-degree changed since last repair
-	isDirty  []bool
-	removals int // lifetime H removals (repair churn telemetry)
+	dirty       []graph.ID // vertices whose H-degree changed since last repair
+	isDirty     []bool
+	removals    int // lifetime H removals (repair churn telemetry)
+	repairIters int // dirty-vertex rescans performed across all repairs
+	peak        int // largest |H| ever reached (repair can shrink it back)
 }
 
 // New returns an empty dynamic EDCS. nHint > 0 pre-sizes the per-vertex
@@ -173,6 +175,9 @@ func (s *Subgraph) addH(j int32) {
 	s.deg[e.U]++
 	s.deg[e.V]++
 	s.size++
+	if s.size > s.peak {
+		s.peak = s.size
+	}
 	s.markDirty(e.U)
 	s.markDirty(e.V)
 }
@@ -202,6 +207,7 @@ func (s *Subgraph) markDirty(v graph.ID) {
 // loop terminates after O(n·β²) moves.
 func (s *Subgraph) repair() {
 	for len(s.dirty) > 0 {
+		s.repairIters++
 		v := s.dirty[len(s.dirty)-1]
 		s.dirty = s.dirty[:len(s.dirty)-1]
 		s.isDirty[v] = false
@@ -230,6 +236,15 @@ func (s *Subgraph) Stored() int { return len(s.edges) }
 // H-edge became overfull and was evicted. It is the builder's streaming
 // telemetry: zero means insertions alone kept the invariants.
 func (s *Subgraph) Removals() int { return s.removals }
+
+// RepairIters returns how many dirty-vertex rescans the repair fixpoint has
+// performed over the subgraph's lifetime — the per-machine measure of how
+// much work P1/P2 maintenance cost beyond the raw insertions.
+func (s *Subgraph) RepairIters() int { return s.repairIters }
+
+// PeakSize returns the largest |H| the subgraph ever held. Repair can evict
+// edges, so the final Size may undercount the memory high-water mark.
+func (s *Subgraph) PeakSize() int { return s.peak }
 
 // Edges returns H as a sorted, always non-nil edge list — the machine's
 // coreset message. Sorting canonicalizes the set (arrival order is an

@@ -73,6 +73,40 @@ type RunReport struct {
 	Rounds     int           `json:"rounds,omitempty"`
 	RoundsRun  int           `json:"roundsRun,omitempty"`
 	RoundStats []RoundReport `json:"roundStats,omitempty"`
+
+	// MachineStats is the per-machine telemetry breakdown (cluster only):
+	// one entry per machine, populated from the TELEM payload each worker
+	// returns at round end. For multi-round runs this describes the FINAL
+	// round, mirroring the per-machine slices above; the per-round breakdown
+	// lives in RoundStats[*].MachineStats. Workers without the telemetry
+	// capability still get an entry, with the phase fields left zero.
+	MachineStats []MachineStats `json:"machineStats,omitempty"`
+}
+
+// MachineStats is one worker machine's round telemetry: where its wall time
+// went (shard decode, insert/repair, coreset encode) and what the build did
+// (edges ingested, EDCS repair fixpoint iterations and removals, peak |H|).
+// Times are measured on the worker's own clock and shipped back in the TELEM
+// frame, so they exclude network transfer and coordinator-side queuing; the
+// phase sum is a lower bound on the coordinator's measured round wall time.
+type MachineStats struct {
+	Machine int `json:"machine"` // machine index within the round
+
+	DecodeMS float64 `json:"decodeMs"` // shard frame decode wall time
+	BuildMS  float64 `json:"buildMs"`  // insert + repair wall time
+	EncodeMS float64 `json:"encodeMs"` // finish + coreset encode wall time
+
+	EdgesIn int `json:"edgesIn"` // edges routed to the machine this round
+	// RepairIters/Removals/PeakCoreset are EDCS fixpoint telemetry (zero for
+	// matching/vc tasks): dirty-vertex rescans, H evictions, and the largest
+	// |H| the machine ever held.
+	RepairIters int `json:"repairIters,omitempty"`
+	Removals    int `json:"removals,omitempty"`
+	PeakCoreset int `json:"peakCoreset,omitempty"`
+
+	// Replayed marks a machine whose telemetry describes a replacement
+	// attempt after a worker failure, not the original assignment.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // RoundReport is one round of a multi-round EDCS run: how many machines were
@@ -100,4 +134,8 @@ type RoundReport struct {
 	// omitted on an undisturbed round).
 	Retries          int   `json:"retries,omitempty"`
 	ReplayedMachines []int `json:"replayedMachines,omitempty"`
+
+	// MachineStats is this round's per-machine telemetry breakdown (cluster
+	// only; see RunReport.MachineStats for field semantics).
+	MachineStats []MachineStats `json:"machineStats,omitempty"`
 }

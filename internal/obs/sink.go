@@ -41,6 +41,31 @@ func Observe(s Sink, name string, v float64) {
 	}
 }
 
+// KeyedSink is the optional Sink extension for counters carrying one label —
+// how the cluster runtime's per-connection events gain a machine dimension.
+// A sink that implements it must route each metric name through either the
+// labeled or the unlabeled path consistently, never both (a Registry-backed
+// sink cannot register a name under two shapes).
+type KeyedSink interface {
+	Sink
+	// CountBy adds delta to the counter's child for label=value.
+	CountBy(name, label, value string, delta int64)
+}
+
+// CountBy forwards a labeled count to s: sinks implementing KeyedSink get
+// the label, plain sinks get an unlabeled Count with the same total, and a
+// nil sink stays free. Library code can therefore always pass the label and
+// let the sink decide the granularity.
+func CountBy(s Sink, name, label, value string, delta int64) {
+	switch ks := s.(type) {
+	case nil:
+	case KeyedSink:
+		ks.CountBy(name, label, value, delta)
+	default:
+		s.Count(name, delta)
+	}
+}
+
 // RegistrySink adapts a Registry into a Sink: Count lands in a counter of
 // the same name, Observe in a histogram (DefLatencyBuckets unless the name
 // was pre-registered with its own layout). Metrics appear in the registry on
@@ -52,6 +77,7 @@ type RegistrySink struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
 	hists  map[string]*Histogram
+	vecs   map[string]*CounterVec
 }
 
 // NewRegistrySink returns a sink writing into reg.
@@ -60,7 +86,23 @@ func NewRegistrySink(reg *Registry) *RegistrySink {
 		reg:    reg,
 		counts: make(map[string]*Counter),
 		hists:  make(map[string]*Histogram),
+		vecs:   make(map[string]*CounterVec),
 	}
+}
+
+// CountBy implements KeyedSink: the named counter becomes a one-label vector
+// and delta lands in the label=value child. A name used through CountBy must
+// never also be used through Count on the same sink (the registry pins a
+// family's label shape on first registration).
+func (s *RegistrySink) CountBy(name, label, value string, delta int64) {
+	s.mu.Lock()
+	v, ok := s.vecs[name]
+	if !ok {
+		v = s.reg.CounterVec(name, "runtime event counter (see internal/obs)", label)
+		s.vecs[name] = v
+	}
+	s.mu.Unlock()
+	v.With(value).Add(delta)
 }
 
 // Count implements Sink.

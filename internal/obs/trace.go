@@ -74,8 +74,16 @@ func (t *Tracer) Event(name string, args ...any) {
 //	end("union", len(u))
 func (t *Tracer) Span(name string, args ...any) func(endArgs ...any) {
 	if t == nil || t.l == nil {
-		return func(...any) {}
+		return noopEnd
 	}
+	return t.span(name, args)
+}
+
+// noopEnd is the shared end function of a disabled span, so the nil path
+// never allocates a closure.
+var noopEnd = func(...any) {}
+
+func (t *Tracer) span(name string, args []any) func(endArgs ...any) {
 	t.Event(name+".start", args...)
 	start := time.Now()
 	return func(endArgs ...any) {

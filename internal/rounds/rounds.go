@@ -169,7 +169,12 @@ type RoundStat struct {
 	// on an undisturbed round).
 	Retries          int
 	ReplayedMachines []int
-	Duration         time.Duration
+	// MachineStats is the round's per-machine telemetry breakdown (cluster
+	// only): phase wall times, repair work and peak coreset size as reported
+	// by each worker's TELEM frame. Entries exist for every machine; phase
+	// fields are zero when a worker lacks the telemetry capability.
+	MachineStats []graph.MachineStats
+	Duration     time.Duration
 }
 
 // Stats reports a whole multi-round run: per-round breakdowns plus
@@ -281,8 +286,14 @@ func (s *Stats) Report(mode string, seed uint64, solutionSize, beta int) *graph.
 			ShardBytes:         rs.ShardBytes,
 			Retries:            rs.Retries,
 			ReplayedMachines:   rs.ReplayedMachines,
+			MachineStats:       rs.MachineStats,
 			DurationMS:         float64(rs.Duration.Microseconds()) / 1000,
 		})
+	}
+	if n := len(s.Rounds); n > 0 {
+		// The run-level breakdown mirrors the final round — the one whose
+		// coresets the coordinator composed.
+		rep.MachineStats = s.Rounds[n-1].MachineStats
 	}
 	return rep
 }
@@ -456,6 +467,7 @@ func Cluster(ctx context.Context, src stream.EdgeSource, ccfg cluster.Config, cf
 			ShardBytes:         cst.ShardBytes,
 			Retries:            cst.Retries,
 			ReplayedMachines:   cst.ReplayedMachines,
+			MachineStats:       cst.MachineStats,
 			Duration:           cst.Duration,
 		}
 		for _, cs := range coresets {

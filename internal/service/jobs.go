@@ -50,6 +50,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// runID is the job's trace run ID, set by the executing worker goroutine
+	// before execute runs; cluster jobs ship it to the worker fleet so their
+	// spans join the job's trace stream.
+	runID string
 
 	mu     sync.Mutex
 	state  JobState
@@ -300,7 +304,8 @@ func (m *Manager) worker() {
 		} else {
 			m.ins.jobStarted()
 			j.setRunning()
-			tr := m.ins.trace().WithRun(obs.NewRunID())
+			j.runID = obs.NewRunID()
+			tr := m.ins.trace().WithRun(j.runID)
 			end := tr.Span("job", "job", j.ID, "task", j.Req.Task, "mode", j.Req.Mode, "k", j.Req.K)
 			start := time.Now()
 			rep, err := m.execute(j)
@@ -410,6 +415,7 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			Spares:     m.cluster.Spares,
 			MaxRetries: m.cluster.maxRetries(),
 			Obs:        m.ins.eventSink(),
+			RunID:      j.runID,
 		}
 		switch req.Task {
 		case TaskMatching:

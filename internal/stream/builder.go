@@ -203,6 +203,17 @@ func newEDCSBuilder(nHint int, p edcs.Params) *edcsBuilder {
 
 func (b *edcsBuilder) add(e graph.Edge) { b.sub.Insert(e) }
 
+// telem exposes the subgraph's fixpoint counters for MachineTelem; it is the
+// telemetered-builder hook and deliberately NOT part of Summary, whose shape
+// is pinned by the cross-runtime seed-parity codec tests.
+func (b *edcsBuilder) telem() MachineTelem {
+	return MachineTelem{
+		RepairIters: b.sub.RepairIters(),
+		Removals:    b.sub.Removals(),
+		PeakCoreset: b.sub.PeakSize(),
+	}
+}
+
 func (b *edcsBuilder) finish(n int) Summary {
 	cs := b.sub.Edges()
 	return Summary{

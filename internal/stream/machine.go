@@ -56,3 +56,27 @@ func (m *Machine) Finish(n int) Summary {
 	s.Edges = m.received
 	return s
 }
+
+// MachineTelem is a machine's build-phase telemetry, separate from Summary
+// (whose wire shape is pinned by the seed-parity codec tests): EDCS fixpoint
+// counters that describe how much repair work the build did. All fields are
+// zero for builders without incremental repair (matching, vc).
+type MachineTelem struct {
+	RepairIters int // dirty-vertex rescans in the EDCS repair fixpoint
+	Removals    int // H evictions (overfull edges removed by repair)
+	PeakCoreset int // largest |H| the machine ever held
+}
+
+// telemetered is the optional builder extension for build telemetry.
+type telemetered interface {
+	telem() MachineTelem
+}
+
+// Telem returns the machine's build telemetry; the zero value for builders
+// that do not track any.
+func (m *Machine) Telem() MachineTelem {
+	if t, ok := m.b.(telemetered); ok {
+		return t.telem()
+	}
+	return MachineTelem{}
+}
