@@ -9,6 +9,7 @@
 //	coreset -task vc -k 8 -in graph.txt
 //	coreset -task edcs -beta 16 -k 8 -in graph.txt    (EDCS coreset)
 //	coreset -task edcs -rounds 3 -k 16 -in graph.txt  (multi-round MPC)
+//	coreset -task diversity -k 8 -in graph.txt        (dispersion coreset)
 //	coreset -task matching -gen gnp -n 10000 -deg 8   (synthetic input)
 //	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
 //	coreset -task vc -cluster host:p1,host:p2 -in g   (cluster runtime)
@@ -17,7 +18,13 @@
 // Tasks: matching and vc are the paper's Theorem 1/2 coresets; edcs is the
 // edge-degree constrained subgraph coreset of "Coresets Meet EDCS"
 // (arXiv:1711.03076), a (3/2+eps)-approximate matching coreset whose degree
-// bound is set with -beta. All three run in every runtime below. With
+// bound is set with -beta; diversity is a randomized composable core-set
+// for dispersion maximization in the style of arXiv:1506.06715 (per-machine
+// greedy k-center summaries composed by re-running the greedy on their
+// union). The accepted task list is the task registry (internal/task) — the
+// -task usage string, this paragraph's membership and every runtime's
+// dispatch all derive from it, so a newly registered task is available in
+// all modes with no change here. With
 // -rounds N the EDCS task runs the paper's multi-round MPC algorithm
 // (internal/rounds): shard, build per-machine EDCSs, union, reshard with a
 // fresh seed and a shrunken machine count, for up to N rounds or until the
@@ -76,8 +83,9 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -87,7 +95,7 @@ import (
 	rnd "repro/internal/rounds"
 	"repro/internal/service"
 	"repro/internal/stream"
-	"repro/internal/vcover"
+	"repro/internal/task"
 )
 
 func main() {
@@ -100,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("coreset", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		task      = fs.String("task", "matching", "problem: matching | vc | edcs")
+		taskName  = fs.String("task", "matching", "problem: "+strings.Join(task.Names(), " | "))
 		k         = fs.Int("k", 4, "number of machines")
 		beta      = fs.Int("beta", 0, "EDCS degree bound for -task edcs (0 = default)")
 		rounds    = fs.Int("rounds", 0, "multi-round MPC: iterate the EDCS sketch for up to N rounds (-task edcs; 0 = single round)")
@@ -129,16 +137,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// One validator for -beta and -rounds across every surface
 	// (service.ValidateTaskParams is also what coresetd's job API and
-	// cmd/coresetload call): the flags only mean something for the EDCS
-	// task, and each is an error — never a silent fallback or a silently
-	// ignored flag — outside its range, with identical message text
-	// everywhere.
-	if err := service.ValidateTaskParams(*task, *beta, *rounds); err != nil {
+	// cmd/coresetload call): the flags only mean something for tasks whose
+	// registry descriptor declares the capability, and each is an error —
+	// never a silent fallback or a silently ignored flag — outside its
+	// range, with identical message text everywhere.
+	if err := service.ValidateTaskParams(*taskName, *beta, *rounds); err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
 		return 2
 	}
 	if *workerM {
 		return runWorker(stdout, stderr)
+	}
+	// The registry is the authority on which tasks exist; the usage string
+	// above and this error name the same list, so a newly registered task
+	// is accepted (and advertised) with no CLI change.
+	desc, ok := task.Get(*taskName)
+	if !ok {
+		fmt.Fprintf(stderr, "coreset: unknown task %q (known tasks: %s)\n", *taskName, strings.Join(task.Names(), ", "))
+		return 2
 	}
 	if *clusterTo == "" && *retries >= 0 {
 		fmt.Fprintln(stderr, "coreset: -max-retries requires -cluster (replay only exists in the cluster runtime)")
@@ -162,15 +178,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *streaming:
 		mode = "stream"
 	}
-	endRun := tracer.Span("run", "task", *task, "mode", mode, "k", *k, "seed", *seed)
+	endRun := tracer.Span("run", "task", *taskName, "mode", mode, "k", *k, "seed", *seed)
 	var code int
 	switch mode {
 	case "cluster":
-		code = runCluster(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *traceOut, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runCluster(desc, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *traceOut, *quiet, *jsonOut, tracer, stdout, stderr)
 	case "stream":
-		code = runStream(*task, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runStream(desc, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
 	default:
-		code = runBatch(*task, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runBatch(desc, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
 	}
 	endRun("code", code)
 	return code
@@ -224,7 +240,7 @@ func emitReport(stdout io.Writer, rep *graph.RunReport) int {
 	return 0
 }
 
-func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+func runBatch(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	g, err := loadGraph(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -238,89 +254,60 @@ func runBatch(task, in, genName string, n int, deg float64, seed uint64, k, work
 		fmt.Fprintf(stdout, "graph: n=%d m=%d, k=%d machines\n", g.N, g.M(), k)
 	}
 
-	switch task {
-	case "matching":
-		start := time.Now()
-		m, st := core.DistributedMatching(g, k, workers, seed)
-		d := time.Since(start)
-		if err := matching.Verify(g.N, g.Edges, m); err != nil {
-			fmt.Fprintln(stderr, "coreset: internal error:", err)
-			return 1
-		}
-		if jsonOut {
-			return emitReport(stdout, st.Report(task, g.N, g.M(), seed, m.Size(), d))
-		}
-		if !quiet {
-			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
-			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
-				st.TotalCommBytes, st.MaxMachineBytes)
-		}
-		fmt.Fprintf(stdout, "matching: %d edges (distributed, %d machines)\n", m.Size(), k)
-	case "vc":
-		start := time.Now()
-		cover, st := core.DistributedVertexCover(g, k, workers, seed)
-		d := time.Since(start)
-		if err := vcover.Verify(g.N, g.Edges, cover); err != nil {
-			fmt.Fprintln(stderr, "coreset: internal error:", err)
-			return 1
-		}
-		if jsonOut {
-			return emitReport(stdout, st.Report(task, g.N, g.M(), seed, len(cover), d))
-		}
-		if !quiet {
-			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
-			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
-			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
-				st.TotalCommBytes, st.MaxMachineBytes)
-		}
-		fmt.Fprintf(stdout, "vertex cover: %d vertices (distributed, %d machines)\n", len(cover), k)
-	case "edcs":
-		p := edcs.ParamsForBeta(beta)
-		if rounds >= 1 {
-			m, st, err := rnd.Batch(g, roundsConfig(k, rounds, seed, p, 0, workers, tracer))
-			if err != nil {
-				fmt.Fprintln(stderr, "coreset:", err)
-				return 1
-			}
-			if err := matching.Verify(g.N, g.Edges, m); err != nil {
-				fmt.Fprintln(stderr, "coreset: internal error:", err)
-				return 1
-			}
-			if jsonOut {
-				return emitReport(stdout, st.Report("batch", seed, m.Size(), p.Beta))
-			}
-			if !quiet {
-				printRoundStats(stdout, st, false)
-			}
-			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
-			return 0
-		}
-		start := time.Now()
-		m, st := edcs.Distributed(g, k, workers, seed, p)
-		d := time.Since(start)
-		if err := matching.Verify(g.N, g.Edges, m); err != nil {
-			fmt.Fprintln(stderr, "coreset: internal error:", err)
-			return 1
-		}
-		if jsonOut {
-			rep := st.Report(task, g.N, g.M(), seed, m.Size(), d)
-			rep.Beta = p.Beta
-			return emitReport(stdout, rep)
-		}
-		if !quiet {
-			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
-			fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
-				st.TotalCommBytes, st.MaxMachineBytes)
-		}
-		fmt.Fprintf(stdout, "edcs: %d edges matched (distributed, %d machines)\n", m.Size(), k)
-	default:
-		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
-		return 2
+	p := task.Params{}
+	if d.UsesBeta {
+		p.EDCS = edcs.ParamsForBeta(beta)
 	}
+	if rounds >= 1 {
+		// Validation already restricted -rounds to the rounds-capable task.
+		m, st, err := rnd.Batch(g, roundsConfig(k, rounds, seed, p.EDCS, 0, workers, tracer))
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if err := matching.Verify(g.N, g.Edges, m); err != nil {
+			fmt.Fprintln(stderr, "coreset: internal error:", err)
+			return 1
+		}
+		if jsonOut {
+			return emitReport(stdout, st.Report("batch", seed, m.Size(), p.EDCS.Beta))
+		}
+		if !quiet {
+			printRoundStats(stdout, st, false)
+		}
+		fmt.Fprintf(stdout, "%s: %d %s (multi-round, %d rounds, %d machines)\n",
+			d.SolutionNoun, m.Size(), d.SolutionUnit, st.RoundsRun, k)
+		return 0
+	}
+	start := time.Now()
+	sol, st := d.Batch(g, k, workers, seed, p)
+	dur := time.Since(start)
+	if d.Verify != nil {
+		if err := d.Verify(g.N, g.Edges, sol); err != nil {
+			fmt.Fprintln(stderr, "coreset: internal error:", err)
+			return 1
+		}
+	}
+	if jsonOut {
+		rep := st.Report(d.Name, g.N, g.M(), seed, sol.Size, dur)
+		if d.UsesBeta {
+			rep.Beta = p.EDCS.Beta
+		}
+		return emitReport(stdout, rep)
+	}
+	if !quiet {
+		if d.FixedLabel != "" {
+			fmt.Fprintf(stdout, "%s: %v\n", d.FixedLabel, st.CoresetFixed)
+		}
+		fmt.Fprintf(stdout, "%s: %v\n", d.CoresetLabel, st.CoresetEdges)
+		fmt.Fprintf(stdout, "communication: total %d bytes, max machine %d bytes\n",
+			st.TotalCommBytes, st.MaxMachineBytes)
+	}
+	fmt.Fprintf(stdout, "%s: %d %s (distributed, %d machines)\n", d.SolutionNoun, sol.Size, d.SolutionUnit, k)
 	return 0
 }
 
-func runStream(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+func runStream(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	src, closeSrc, err := openSource(in, genName, n, deg, seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -331,75 +318,52 @@ func runStream(task, in, genName string, n int, deg float64, seed uint64, k, bat
 	}
 	cfg := stream.Config{K: k, Seed: seed, BatchSize: batch, Trace: tracer}
 
-	switch task {
-	case "matching":
-		m, st, err := stream.Matching(src, cfg)
+	p := task.Params{}
+	if d.UsesBeta {
+		p.EDCS = edcs.ParamsForBeta(beta)
+	}
+	if rounds >= 1 {
+		m, st, err := rnd.Stream(context.Background(), src, roundsConfig(k, rounds, seed, p.EDCS, batch, 0, tracer))
 		if err != nil {
 			fmt.Fprintln(stderr, "coreset:", err)
 			return 1
 		}
 		if jsonOut {
-			return emitReport(stdout, st.Report(task, seed, m.Size()))
+			return emitReport(stdout, st.Report("stream", seed, m.Size(), p.EDCS.Beta))
 		}
 		if !quiet {
-			printStreamStats(stdout, st)
-			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
-			fmt.Fprintf(stdout, "live greedy per machine: %v\n", st.Live)
+			printRoundStats(stdout, st, false)
 		}
-		fmt.Fprintf(stdout, "matching: %d edges (streamed, %d machines)\n", m.Size(), k)
-	case "vc":
-		cover, st, err := stream.VertexCover(src, cfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "coreset:", err)
-			return 1
+		fmt.Fprintf(stdout, "%s: %d %s (multi-round streamed, %d rounds, %d machines)\n",
+			d.SolutionNoun, m.Size(), d.SolutionUnit, st.RoundsRun, k)
+		return 0
+	}
+	sol, st, err := stream.Solve(context.Background(), src, cfg, d, p)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	if jsonOut {
+		rep := st.Report(d.Name, seed, sol.Size)
+		if d.UsesBeta {
+			rep.Beta = p.EDCS.Beta
 		}
-		if jsonOut {
-			return emitReport(stdout, st.Report(task, seed, len(cover)))
+		return emitReport(stdout, rep)
+	}
+	if !quiet {
+		printStreamStats(stdout, st)
+		if d.FixedLabel != "" {
+			fmt.Fprintf(stdout, "%s: %v\n", d.FixedLabel, st.CoresetFixed)
 		}
-		if !quiet {
-			printStreamStats(stdout, st)
-			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
-			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
+		fmt.Fprintf(stdout, "%s: %v\n", d.CoresetLabel, st.CoresetEdges)
+		if d.ShowStored {
 			fmt.Fprintf(stdout, "stored vs received per machine: %v / %v\n", st.StoredEdges, st.PartEdges)
 		}
-		fmt.Fprintf(stdout, "vertex cover: %d vertices (streamed, %d machines)\n", len(cover), k)
-	case "edcs":
-		p := edcs.ParamsForBeta(beta)
-		if rounds >= 1 {
-			m, st, err := rnd.Stream(context.Background(), src, roundsConfig(k, rounds, seed, p, batch, 0, tracer))
-			if err != nil {
-				fmt.Fprintln(stderr, "coreset:", err)
-				return 1
-			}
-			if jsonOut {
-				return emitReport(stdout, st.Report("stream", seed, m.Size(), p.Beta))
-			}
-			if !quiet {
-				printRoundStats(stdout, st, false)
-			}
-			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round streamed, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
-			return 0
+		if d.LiveLabel != "" {
+			fmt.Fprintf(stdout, "%s: %v\n", d.LiveLabel, st.Live)
 		}
-		m, st, err := stream.EDCS(src, cfg, p)
-		if err != nil {
-			fmt.Fprintln(stderr, "coreset:", err)
-			return 1
-		}
-		if jsonOut {
-			rep := st.Report(task, seed, m.Size())
-			rep.Beta = p.Beta
-			return emitReport(stdout, rep)
-		}
-		if !quiet {
-			printStreamStats(stdout, st)
-			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
-			fmt.Fprintf(stdout, "repair removals per machine: %v\n", st.Live)
-		}
-		fmt.Fprintf(stdout, "edcs: %d edges matched (streamed, %d machines)\n", m.Size(), k)
-	default:
-		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
-		return 2
 	}
+	fmt.Fprintf(stdout, "%s: %d %s (streamed, %d machines)\n", d.SolutionNoun, sol.Size, d.SolutionUnit, k)
 	return 0
 }
 
@@ -446,7 +410,7 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec, traceOut string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+func runCluster(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec, traceOut string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -489,72 +453,46 @@ func runCluster(task, in, genName string, n int, deg float64, seed uint64, k, ba
 		return -1
 	}
 
-	switch task {
-	case "matching":
-		m, st, err := cluster.Matching(ctx, src, cfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "coreset:", err)
-			return 1
-		}
-		if code := emit(st.Report(task, seed, m.Size())); code >= 0 {
-			return code
-		}
-		if !quiet {
-			printClusterStats(stdout, st)
-			fmt.Fprintf(stdout, "coreset edges per machine: %v\n", st.CoresetEdges)
-		}
-		fmt.Fprintf(stdout, "matching: %d edges (cluster, %d machines)\n", m.Size(), k)
-	case "vc":
-		cover, st, err := cluster.VertexCover(ctx, src, cfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "coreset:", err)
-			return 1
-		}
-		if code := emit(st.Report(task, seed, len(cover))); code >= 0 {
-			return code
-		}
-		if !quiet {
-			printClusterStats(stdout, st)
-			fmt.Fprintf(stdout, "fixed vertices per machine: %v\n", st.CoresetFixed)
-			fmt.Fprintf(stdout, "residual edges per machine: %v\n", st.CoresetEdges)
-		}
-		fmt.Fprintf(stdout, "vertex cover: %d vertices (cluster, %d machines)\n", len(cover), k)
-	case "edcs":
-		p := edcs.ParamsForBeta(beta)
-		if rounds >= 1 {
-			m, st, err := rnd.Cluster(ctx, src, cfg, roundsConfig(k, rounds, seed, p, batch, 0, tracer))
-			if err != nil {
-				fmt.Fprintln(stderr, "coreset:", err)
-				return 1
-			}
-			if code := emit(st.Report("cluster", seed, m.Size(), p.Beta)); code >= 0 {
-				return code
-			}
-			if !quiet {
-				printRoundStats(stdout, st, true)
-			}
-			fmt.Fprintf(stdout, "edcs: %d edges matched (multi-round cluster, %d rounds, %d machines)\n", m.Size(), st.RoundsRun, k)
-			return 0
-		}
-		m, st, err := cluster.EDCS(ctx, src, cfg, p)
-		if err != nil {
-			fmt.Fprintln(stderr, "coreset:", err)
-			return 1
-		}
-		rep := st.Report(task, seed, m.Size())
-		rep.Beta = p.Beta
-		if code := emit(rep); code >= 0 {
-			return code
-		}
-		if !quiet {
-			printClusterStats(stdout, st)
-			fmt.Fprintf(stdout, "EDCS edges per machine: %v\n", st.CoresetEdges)
-		}
-		fmt.Fprintf(stdout, "edcs: %d edges matched (cluster, %d machines)\n", m.Size(), k)
-	default:
-		fmt.Fprintf(stderr, "coreset: unknown task %q\n", task)
-		return 2
+	p := task.Params{}
+	if d.UsesBeta {
+		p.EDCS = edcs.ParamsForBeta(beta)
 	}
+	if rounds >= 1 {
+		m, st, err := rnd.Cluster(ctx, src, cfg, roundsConfig(k, rounds, seed, p.EDCS, batch, 0, tracer))
+		if err != nil {
+			fmt.Fprintln(stderr, "coreset:", err)
+			return 1
+		}
+		if code := emit(st.Report("cluster", seed, m.Size(), p.EDCS.Beta)); code >= 0 {
+			return code
+		}
+		if !quiet {
+			printRoundStats(stdout, st, true)
+		}
+		fmt.Fprintf(stdout, "%s: %d %s (multi-round cluster, %d rounds, %d machines)\n",
+			d.SolutionNoun, m.Size(), d.SolutionUnit, st.RoundsRun, k)
+		return 0
+	}
+	sol, st, err := cluster.Solve(ctx, src, cfg, d, p)
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset:", err)
+		return 1
+	}
+	rep := st.Report(d.Name, seed, sol.Size)
+	if d.UsesBeta {
+		rep.Beta = p.EDCS.Beta
+	}
+	if code := emit(rep); code >= 0 {
+		return code
+	}
+	if !quiet {
+		printClusterStats(stdout, st)
+		if d.FixedLabel != "" {
+			fmt.Fprintf(stdout, "%s: %v\n", d.FixedLabel, st.CoresetFixed)
+		}
+		fmt.Fprintf(stdout, "%s: %v\n", d.CoresetLabel, st.CoresetEdges)
+	}
+	fmt.Fprintf(stdout, "%s: %d %s (cluster, %d machines)\n", d.SolutionNoun, sol.Size, d.SolutionUnit, k)
 	return 0
 }
 

@@ -21,7 +21,8 @@
 //	GET    /v1/graphs/{id}  describe a registered graph
 //	DELETE /v1/graphs/{id}  drop an idle graph
 //	POST   /v1/jobs       submit a job: {"graph","task","k","seed","mode"}
-//	                      (task matching | vc | edcs; edcs takes "beta")
+//	                      (any task registered in internal/task — currently
+//	                      matching | vc | edcs | diversity; edcs takes "beta")
 //	GET    /v1/jobs/{id}  poll a job; ?wait=2s long-polls until terminal
 //	DELETE /v1/jobs/{id}  cancel a job
 //	GET    /v1/stats      registry / job / cache counters

@@ -55,6 +55,7 @@ import (
 	"repro/internal/rounds"
 	"repro/internal/service"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
 func main() {
@@ -73,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n        = fs.Int("n", 20000, "vertices")
 		deg      = fs.Float64("deg", 8, "average degree (gnp)")
 		gseed    = fs.Uint64("graphseed", 1, "generator seed")
-		task     = fs.String("task", "matching", "job task: matching | vc | edcs")
+		taskName = fs.String("task", "matching", "job task: "+strings.Join(task.Names(), " | "))
 		beta     = fs.Int("beta", 0, "EDCS degree bound (task edcs; 0 = default)")
 		rounds   = fs.Int("rounds", 0, "multi-round MPC round cap (task edcs; 0 = single round)")
 		k        = fs.Int("k", 4, "machines per job (-target service; cluster uses the fleet size)")
@@ -99,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// and coresetd's job API also use — silently benchmarking something
 	// other than what the flags claim would mislabel every latency
 	// percentile this tool prints.
-	if err := service.ValidateTaskParams(*task, *beta, *rounds); err != nil {
+	if err := service.ValidateTaskParams(*taskName, *beta, *rounds); err != nil {
 		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
@@ -115,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w < 0 {
 			w = *conc
 		}
-		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *task, *beta, *rounds, *jobs, *conc, *seeds, w, *retries, *timeout, scrapers, stdout, stderr)
+		return runClusterTarget(*clusterW, *genName, *n, *deg, *gseed, *taskName, *beta, *rounds, *jobs, *conc, *seeds, w, *retries, *timeout, scrapers, stdout, stderr)
 	}
 	if *target != "service" {
 		fmt.Fprintf(stderr, "coresetload: unknown target %q\n", *target)
@@ -165,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			for i := range next {
 				jr := service.CreateJobRequest{
-					Graph: info.ID, Task: *task, K: *k,
+					Graph: info.ID, Task: *taskName, K: *k,
 					Seed: uint64(i % *seeds), Mode: *mode,
 					Beta: *beta, Rounds: *rounds,
 				}
@@ -320,7 +321,7 @@ func metricBase(name string) string {
 // replays through the in-process streaming runtime so the two latency
 // distributions print side by side. Concurrent clients exercise the workers'
 // many-runs-at-once path.
-func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, task string, beta, roundCap, jobs, conc, seeds, warmup, maxRetries int, timeout time.Duration, scrapers *scrapeSet, stdout, stderr io.Writer) int {
+func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64, taskName string, beta, roundCap, jobs, conc, seeds, warmup, maxRetries int, timeout time.Duration, scrapers *scrapeSet, stdout, stderr io.Writer) int {
 	if clusterW == "" {
 		fmt.Fprintln(stderr, "coresetload: -target cluster needs -cluster host:port,...")
 		return 2
@@ -333,8 +334,11 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
-	if task != service.TaskMatching && task != service.TaskVC && task != service.TaskEDCS {
-		fmt.Fprintf(stderr, "coresetload: unknown task %q\n", task)
+	// Membership comes from the task registry — the same list the -task
+	// usage string advertises.
+	desc, ok := task.Get(taskName)
+	if !ok {
+		fmt.Fprintf(stderr, "coresetload: unknown task %q (known tasks: %s)\n", taskName, strings.Join(task.Names(), ", "))
 		return 2
 	}
 	spec := &service.GenSpec{Name: genName, N: n, Deg: deg, Seed: gseed}
@@ -343,7 +347,7 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		return 1
 	}
 	fmt.Fprintf(stdout, "cluster: %d workers, %s n=%d, task %s, %d jobs x %d clients\n",
-		len(addrs), genName, n, task, jobs, conc)
+		len(addrs), genName, n, taskName, jobs, conc)
 
 	before, err := scrapers.snapshot()
 	if err != nil {
@@ -351,11 +355,17 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		return 1
 	}
 
-	p := edcs.ParamsForBeta(beta)
-	rcfg := rounds.Config{K: len(addrs), Rounds: roundCap, Seed: 0, Params: p}
+	p := task.Params{}
+	if desc.UsesBeta {
+		p.EDCS = edcs.ParamsForBeta(beta)
+	}
+	multiRound := desc.WireRounds != 0 && roundCap >= 1
+	rcfg := rounds.Config{K: len(addrs), Rounds: roundCap, Seed: 0, Params: p.EDCS}
 	ccfgFor := func(seed uint64) cluster.Config {
 		return cluster.Config{Workers: addrs, Seed: seed, MaxRetries: maxRetries}
 	}
+	// Every single-round path dispatches through the task descriptor; only
+	// the multi-round MPC driver keeps its own entry points.
 	runOne := func(mode string, seed uint64) (time.Duration, int, error) {
 		src, err := spec.Source()
 		if err != nil {
@@ -366,13 +376,7 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 		t0 := time.Now()
 		retried := 0
 		switch {
-		case mode == "cluster" && task == "vc":
-			var st *cluster.Stats
-			_, st, err = cluster.VertexCover(ctx, src, ccfgFor(seed))
-			if st != nil {
-				retried = st.Retries
-			}
-		case mode == "cluster" && task == "edcs" && roundCap >= 1:
+		case mode == "cluster" && multiRound:
 			cfg := rcfg
 			cfg.Seed = seed
 			var st *rounds.Stats
@@ -380,28 +384,18 @@ func runClusterTarget(clusterW, genName string, n int, deg float64, gseed uint64
 			if st != nil {
 				retried = st.Retries
 			}
-		case mode == "cluster" && task == "edcs":
-			var st *cluster.Stats
-			_, st, err = cluster.EDCS(ctx, src, ccfgFor(seed), p)
-			if st != nil {
-				retried = st.Retries
-			}
 		case mode == "cluster":
 			var st *cluster.Stats
-			_, st, err = cluster.Matching(ctx, src, ccfgFor(seed))
+			_, st, err = cluster.Solve(ctx, src, ccfgFor(seed), desc, p)
 			if st != nil {
 				retried = st.Retries
 			}
-		case task == "vc":
-			_, _, err = stream.VertexCoverContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
-		case task == "edcs" && roundCap >= 1:
+		case multiRound:
 			cfg := rcfg
 			cfg.Seed = seed
 			_, _, err = rounds.Stream(ctx, src, cfg)
-		case task == "edcs":
-			_, _, err = stream.EDCSContext(ctx, src, stream.Config{K: len(addrs), Seed: seed}, p)
 		default:
-			_, _, err = stream.MatchingContext(ctx, src, stream.Config{K: len(addrs), Seed: seed})
+			_, _, err = stream.Solve(ctx, src, stream.Config{K: len(addrs), Seed: seed}, desc, p)
 		}
 		return time.Since(t0), retried, err
 	}

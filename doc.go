@@ -76,6 +76,33 @@
 // communication as n and k scale, and BenchmarkClusterVsStream (baseline in
 // BENCH_cluster.json) prices the wire against the in-process runtime.
 //
+// The runtimes themselves are task-agnostic: every task lives as a
+// task.Descriptor in the internal/task registry — the per-machine
+// incremental builder, the CORESET body codec, the coordinator-side
+// composer, the batch reference pipeline and the parameter rules (UsesBeta,
+// the multi-round wire byte) bundled behind one name and one wire byte —
+// and batch, stream, cluster and the service all dispatch through it, with
+// no per-task branches in any runtime. Registering a descriptor is the
+// entire integration surface: the CLIs derive their accepted-task lists,
+// usage strings and "unknown task" errors from task.Names(), shared
+// validation (task.ValidateParams) rejects parameters a task does not
+// declare with messages pinned byte-identical across the service and both
+// CLIs, the service derives its cache keys and pre-creates its per-task
+// service_jobs_total metric series from the same table, and the cluster
+// wire protocol resolves task bytes through task.ByWire — a HELLO carrying
+// an unknown byte fails with a typed *cluster.UnknownTaskError naming the
+// byte and the registry's known range, with no protocol version bump
+// needed. The proof of the interface is task "diversity"
+// (internal/diversity), a composable core-set for dispersion maximization
+// in the style of Indyk, Mahabadi, Mahdian and Mirrokni (arXiv:1506.06715):
+// each machine summarizes its shard as Gonzalez greedy farthest-point
+// k-centers over the vertex IDs it saw (line metric |u-v|) and the
+// coordinator re-runs the same greedy over the union of the summaries.
+// Its summary is a vertex set rather than an edge set — deliberately not
+// matching-shaped — and it was added as one package plus one registry
+// entry, seed-parity-checked across batch, stream and cluster like the
+// built-in tasks.
+//
 // Beyond the paper's own summaries, internal/edcs implements the
 // edge-degree constrained subgraph coreset of the follow-up work "Coresets
 // Meet EDCS" (Assadi, Bateni, Bernstein, Mirrokni, Stein; arXiv:1711.03076):
@@ -131,7 +158,8 @@
 //	                   │        (LRU, hit/miss counters)                          │
 //	                   └──────────────────────────────────────────────────────────┘
 //
-// A job names a registered graph, a task (matching, vc or edcs), k, a seed
+// A job names a registered graph, a task (any registry entry — matching,
+// vc, edcs or diversity), k, a seed
 // and a mode (batch, stream, or — when the daemon was started with -cluster
 // — cluster, which dispatches the run to the configured coresetworker
 // fleet).

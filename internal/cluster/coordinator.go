@@ -11,14 +11,45 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
+
+// Solve runs the full pipeline for any registered task across the configured
+// workers: hash-shard the source's edges over the k worker connections,
+// collect the per-machine summaries the descriptor's builders produced on
+// the other side of the wire, and compose the final solution from their
+// union — exactly the in-process stream.Solve, with the machines remote. It
+// is the single dispatch point of the cluster runtime; the task-named entry
+// points below are thin wrappers over it.
+func Solve(ctx context.Context, src stream.EdgeSource, cfg Config, d *task.Descriptor, p task.Params) (task.Solution, *Stats, error) {
+	if d.Validate != nil {
+		if err := d.Validate(p); err != nil {
+			return task.Solution{}, nil, err
+		}
+	}
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, d.Wire, p.EDCS)
+	if err != nil {
+		return task.Solution{}, nil, err
+	}
+	for _, s := range sums {
+		n := d.CoresetLen(s)
+		st.CoresetEdges = append(st.CoresetEdges, n)
+		if d.FixedLen != nil {
+			st.CoresetFixed = append(st.CoresetFixed, d.FixedLen(s))
+		}
+		st.CompositionEdges += n
+	}
+	sol := d.Compose(st.N, sums)
+	st.Duration = time.Since(start)
+	return sol, st, nil
+}
 
 // Matching runs the Theorem 1 pipeline across the configured workers:
 // hash-shard the source's edges over the k worker connections, collect the
@@ -26,27 +57,11 @@ import (
 // their union — exactly the in-process stream.Matching, with the machines on
 // the other side of a wire.
 func Matching(ctx context.Context, src stream.EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, taskMatching, edcs.Params{})
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("matching"), task.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
-	m := composeEdgeSummaries(sums, st)
-	st.Duration = time.Since(start)
-	return m, st, nil
-}
-
-// composeEdgeSummaries folds edge-list coresets (Theorem 1 matchings or
-// EDCSs — the pipelines share this tail) into the stats and composes the
-// final maximum matching of their union.
-func composeEdgeSummaries(sums []stream.Summary, st *Stats) *matching.Matching {
-	coresets := make([][]graph.Edge, len(sums))
-	for i, s := range sums {
-		coresets[i] = s.Coreset
-		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
-		st.CompositionEdges += len(s.Coreset)
-	}
-	return core.ComposeMatching(st.N, coresets)
+	return sol.Matching, st, nil
 }
 
 // EDCS runs the EDCS coreset pipeline (arXiv:1711.03076) across the
@@ -56,37 +71,21 @@ func composeEdgeSummaries(sums []stream.Summary, st *Stats) *matching.Matching {
 // degree constraints travel in the HELLO frame, so the worker machines are
 // parameterized identically to an in-process run.
 func EDCS(ctx context.Context, src stream.EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, taskEDCS, p)
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("edcs"), task.Params{EDCS: p})
 	if err != nil {
 		return nil, nil, err
 	}
-	m := composeEdgeSummaries(sums, st)
-	st.Duration = time.Since(start)
-	return m, st, nil
+	return sol.Matching, st, nil
 }
 
 // VertexCover runs the Theorem 2 pipeline across the configured workers and
 // returns the composed cover.
 func VertexCover(ctx context.Context, src stream.EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, taskVC, edcs.Params{})
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("vc"), task.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
-	coresets := make([]*core.VCCoreset, st.K)
-	for i, s := range sums {
-		coresets[i] = s.VC
-		st.CoresetEdges = append(st.CoresetEdges, len(s.VC.Residual))
-		st.CoresetFixed = append(st.CoresetFixed, len(s.VC.Fixed))
-		st.CompositionEdges += len(s.VC.Residual)
-	}
-	cover := core.ComposeVC(st.N, coresets)
-	st.Duration = time.Since(start)
-	return cover, st, nil
+	return sol.Cover, st, nil
 }
 
 // workerResult is one machine's outcome: its decoded summary plus the
@@ -117,7 +116,7 @@ type workerResult struct {
 // can stay blocked on the network. Every exit path closes the batch
 // channels and waits for the connection goroutines, so run never leaks.
 // ep carries the EDCS degree constraints for taskEDCS (zero otherwise).
-func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep edcs.Params) ([]stream.Summary, *Stats, error) {
+func run(ctx context.Context, src stream.EdgeSource, cfg Config, tb byte, ep edcs.Params) ([]stream.Summary, *Stats, error) {
 	if src == nil {
 		return nil, nil, errors.New("cluster: nil source")
 	}
@@ -205,7 +204,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 			stopWatch := closeOnCancel(runCtx, conn)
 			defer stopWatch()
 
-			h := hello{version: protocolVersion, task: task, machine: machine, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
+			h := hello{version: protocolVersion, task: tb, machine: machine, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
 			n, err := writeFrameDeadline(conn, iot, frameHello, encodeHello(h))
 			res.sent += n
 			countSent(cfg.Obs, machine, n, err)
@@ -217,7 +216,7 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 				fail(kind, err)
 				return
 			}
-			roundTrip(runCtx, conn, task, iot, chans[machine], nReady, &nFinal, &res, fail, cfg.Obs)
+			roundTrip(runCtx, conn, tb, iot, chans[machine], nReady, &nFinal, &res, fail, cfg.Obs)
 		}(i)
 	}
 
@@ -272,10 +271,10 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, task byte, ep e
 		addrs := append([]string(nil), cfg.Workers...)
 		spares := append([]string(nil), cfg.Spares...)
 		rp := &replayer{
-			cfg: cfg, task: task, seed: cfg.Seed, k: k, nFinal: nFinal,
+			cfg: cfg, task: tb, seed: cfg.Seed, k: k, nFinal: nFinal,
 			addrs: addrs, spares: &spares,
 			helloFor: func(m int) hello {
-				return hello{version: protocolVersion, task: task, machine: m, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
+				return hello{version: protocolVersion, task: tb, machine: m, k: k, known: known, n: nHint, edcs: ep, telem: true, runID: cfg.RunID}
 			},
 		}
 		var err error
@@ -361,7 +360,7 @@ func readAck(conn net.Conn, iot time.Duration) (FailureKind, error) {
 // a stalled worker surfaces as a retryable KindDeadline failure rather than
 // a hang. On a shard-stream failure the caller's deferred drain consumes
 // the remaining batches.
-func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Duration, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(FailureKind, error), sink obs.Sink) {
+func roundTrip(runCtx context.Context, conn net.Conn, tb byte, iot time.Duration, batches <-chan []graph.Edge, nReady <-chan struct{}, nFinal *int, res *workerResult, fail func(FailureKind, error), sink obs.Sink) {
 	var buf []byte
 	for batch := range batches {
 		buf = graph.AppendEdgeBatch(buf[:0], batch)
@@ -412,7 +411,7 @@ func roundTrip(runCtx context.Context, conn net.Conn, task byte, iot time.Durati
 	}
 	switch typ {
 	case frameCoreset:
-		sum, err := decodeSummary(task, payload)
+		sum, err := decodeSummary(tb, payload)
 		if err != nil {
 			fail(KindProtocol, err)
 			return

@@ -7,10 +7,10 @@ import (
 	"net"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
 // Wire protocol. Every message is one frame:
@@ -88,38 +88,57 @@ const ackCapTelem byte = 1 << 0
 // "r-%08x" (10 bytes), so the cap exists purely against hostile frames.
 const maxRunIDLen = 128
 
-// Task bytes carried in HELLO. taskEDCS extends the HELLO payload with the
-// two EDCS degree constraints; peers that predate it reject the unknown
-// task byte, so no protocol version bump is needed. taskEDCSRounds is the
-// multi-round MPC assignment (internal/rounds): the HELLO additionally
-// carries the round cap, and the connection then speaks up to that many
-// rounds — each a SHARD*/EOS sequence answered by one CORESET, with a fresh
-// EDCS per round — instead of exactly one. The coordinator ends the run
-// early by closing the connection at a round boundary, which the worker
-// treats as a clean end (the early exit fires when the union stops
-// shrinking, so the worker cannot know the final round count upfront).
+// Task bytes carried in HELLO. The authoritative byte assignments live in
+// the task registry (internal/task): Descriptor.Wire is the HELLO task byte
+// and Descriptor.WireRounds its multi-round variant, and both encodeHello
+// and decodeHello dispatch through task.ByWire rather than a task switch.
+// The constants below are the registry's values restated for this package's
+// own call sites and tests; TestTaskBytesMatchRegistry pins the two in sync.
+// A task byte extends the HELLO payload per its descriptor's capabilities
+// (UsesBeta appends the two EDCS degree constraints; a WireRounds byte
+// additionally carries the round cap); peers that predate a byte reject the
+// unknown task, so no protocol version bump is needed. A multi-round
+// assignment (taskEDCSRounds) speaks up to the round cap's SHARD*/EOS
+// rounds — with a fresh machine per round — instead of exactly one; the
+// coordinator ends the run early by closing the connection at a round
+// boundary, which the worker treats as a clean end (the early exit fires
+// when the union stops shrinking, so the worker cannot know the final round
+// count upfront).
 const (
 	taskMatching   byte = 1
 	taskVC         byte = 2
 	taskEDCS       byte = 3
 	taskEDCSRounds byte = 4
+	taskDiversity  byte = 5
 )
 
 // taskName returns a task byte's human name for logs and trace spans.
-func taskName(task byte) string {
-	switch task {
-	case taskMatching:
-		return "matching"
-	case taskVC:
-		return "vc"
-	case taskEDCS:
-		return "edcs"
-	case taskEDCSRounds:
-		return "edcs-rounds"
-	default:
-		return fmt.Sprintf("task-0x%02x", task)
+func taskName(tb byte) string {
+	if d, multiRound, ok := task.ByWire(tb); ok {
+		if multiRound {
+			return d.Name + "-rounds"
+		}
+		return d.Name
 	}
+	return fmt.Sprintf("task-0x%02x", tb)
 }
+
+// UnknownTaskError is the typed rejection for a HELLO (or CORESET) carrying
+// a task byte the task registry does not know. It names the offending byte
+// and the registry's known bytes, so a version-skewed peer's operator can
+// see at a glance whether the byte is from a newer task or plain corruption.
+type UnknownTaskError struct {
+	Task  byte   // the unknown task byte
+	Known string // the registry's known wire bytes, e.g. "0x01, 0x02, 0x03, 0x04, 0x05"
+}
+
+func (e *UnknownTaskError) Error() string {
+	return fmt.Sprintf("cluster: unknown task 0x%02x (known tasks %s)", e.Task, e.Known)
+}
+
+// Kind classifies the failure: a protocol violation, never retryable (a
+// deterministic replay would present the same byte).
+func (e *UnknownTaskError) Kind() FailureKind { return KindProtocol }
 
 // maxFramePayload bounds a single frame so a corrupt or hostile peer cannot
 // make the receiver allocate without bound. 64 MiB is far above any batch or
@@ -225,12 +244,14 @@ func encodeHello(h hello) []byte {
 	buf = binary.AppendUvarint(buf, uint64(h.machine))
 	buf = binary.AppendUvarint(buf, uint64(h.k))
 	buf = binary.AppendUvarint(buf, uint64(h.n))
-	if h.task == taskEDCS || h.task == taskEDCSRounds {
-		buf = binary.AppendUvarint(buf, uint64(h.edcs.Beta))
-		buf = binary.AppendUvarint(buf, uint64(h.edcs.BetaMinus))
-	}
-	if h.task == taskEDCSRounds {
-		buf = binary.AppendUvarint(buf, uint64(h.rounds))
+	if d, multiRound, ok := task.ByWire(h.task); ok {
+		if d.UsesBeta {
+			buf = binary.AppendUvarint(buf, uint64(h.edcs.Beta))
+			buf = binary.AppendUvarint(buf, uint64(h.edcs.BetaMinus))
+		}
+		if multiRound {
+			buf = binary.AppendUvarint(buf, uint64(h.rounds))
+		}
 	}
 	if h.telem {
 		// Length-prefixed run ID at the tail: a pre-telemetry worker stops
@@ -270,9 +291,11 @@ func decodeHello(data []byte) (hello, error) {
 	if h.version != protocolVersion {
 		return h, fmt.Errorf("cluster: protocol version %d, want %d", h.version, protocolVersion)
 	}
-	switch h.task {
-	case taskMatching, taskVC:
-	case taskEDCS, taskEDCSRounds:
+	d, multiRound, ok := task.ByWire(h.task)
+	if !ok {
+		return h, &UnknownTaskError{Task: h.task, Known: task.WireRange()}
+	}
+	if d.UsesBeta {
 		beta, err := uvarint()
 		if err != nil {
 			return h, err
@@ -288,18 +311,16 @@ func decodeHello(data []byte) (hello, error) {
 		if err := h.edcs.Validate(); err != nil {
 			return h, err
 		}
-		if h.task == taskEDCSRounds {
-			rounds, err := uvarint()
-			if err != nil {
-				return h, err
-			}
-			if rounds < 1 || rounds > maxWireRounds {
-				return h, fmt.Errorf("cluster: round cap %d outside [1, %d]", rounds, maxWireRounds)
-			}
-			h.rounds = int(rounds)
+	}
+	if multiRound {
+		rounds, err := uvarint()
+		if err != nil {
+			return h, err
 		}
-	default:
-		return h, fmt.Errorf("cluster: unknown task 0x%02x", h.task)
+		if rounds < 1 || rounds > maxWireRounds {
+			return h, fmt.Errorf("cluster: round cap %d outside [1, %d]", rounds, maxWireRounds)
+		}
+		h.rounds = int(rounds)
 	}
 	if h.k <= 0 || h.k > maxK || h.machine < 0 || h.machine >= h.k {
 		return h, fmt.Errorf("cluster: machine %d of k=%d out of range", h.machine, h.k)
@@ -385,89 +406,28 @@ func (t workerTelem) machineStats(m int) graph.MachineStats {
 }
 
 // appendSummary encodes a machine's end-of-stream summary as the CORESET
-// payload: uvarint received/stored/live stats, then the task-specific
-// coreset body.
-func appendSummary(dst []byte, task byte, s stream.Summary) []byte {
-	dst = binary.AppendUvarint(dst, uint64(s.Edges))
-	dst = binary.AppendUvarint(dst, uint64(s.Stored))
-	dst = binary.AppendUvarint(dst, uint64(s.Live))
-	if task != taskVC { // matching and EDCS coresets are both plain edge lists
-		return graph.AppendEdgeBatch(dst, s.Coreset)
+// payload for task byte tb: uvarint received/stored/live stats, then the
+// descriptor's coreset body. The actual codec lives with the descriptor
+// (task.AppendSummary); this wrapper only resolves the wire byte.
+func appendSummary(dst []byte, tb byte, s stream.Summary) []byte {
+	d, _, ok := task.ByWire(tb)
+	if !ok {
+		// Only reachable with a task byte that already passed decodeHello.
+		panic((&UnknownTaskError{Task: tb, Known: task.WireRange()}).Error())
 	}
-	// VC: the levels (in peel order; Fixed is their concatenation, so it is
-	// not sent), then the residual subgraph.
-	dst = binary.AppendUvarint(dst, uint64(len(s.VC.Levels)))
-	for _, level := range s.VC.Levels {
-		dst = graph.AppendIDs(dst, level)
-	}
-	return graph.AppendEdgeBatch(dst, s.VC.Residual)
+	return task.AppendSummary(dst, d, s)
 }
 
 // decodeSummary reconstructs a stream.Summary from a CORESET payload. The
 // result is field-for-field identical to what the worker's Machine.Finish
 // returned — including nil-versus-empty slice shapes, which the seed-parity
-// guarantee (cluster coresets deep-equal in-process ones) depends on: a
-// maximum matching / residual edge list is always non-nil (matching.Edges
-// and Residual.LiveEdges allocate), while a level that peeled nothing is nil
-// (Residual.RemoveAtLeast does not).
-func decodeSummary(task byte, data []byte) (stream.Summary, error) {
-	var s stream.Summary
-	vals := make([]uint64, 3)
-	for i := range vals {
-		v, k := binary.Uvarint(data)
-		if k <= 0 {
-			return s, fmt.Errorf("cluster: corrupt CORESET stats")
-		}
-		vals[i], data = v, data[k:]
+// guarantee (cluster coresets deep-equal in-process ones) depends on. The
+// codec is the descriptor's (task.DecodeSummary); this wrapper resolves the
+// wire byte.
+func decodeSummary(tb byte, data []byte) (stream.Summary, error) {
+	d, _, ok := task.ByWire(tb)
+	if !ok {
+		return stream.Summary{}, &UnknownTaskError{Task: tb, Known: task.WireRange()}
 	}
-	s.Edges, s.Stored, s.Live = int(vals[0]), int(vals[1]), int(vals[2])
-
-	if task != taskVC { // matching and EDCS coresets are both plain edge lists
-		edges, rest, err := graph.DecodeEdgeBatch(data)
-		if err != nil {
-			return s, err
-		}
-		if len(rest) != 0 {
-			return s, fmt.Errorf("cluster: %d trailing bytes after CORESET", len(rest))
-		}
-		if edges == nil {
-			edges = []graph.Edge{}
-		}
-		s.Coreset = edges
-		s.Bytes = core.CoresetSizeBytes(edges) // simulated estimate, for Est* stats
-		return s, nil
-	}
-
-	nLevels, k := binary.Uvarint(data)
-	if k <= 0 || nLevels > uint64(len(data)) {
-		return s, fmt.Errorf("cluster: corrupt CORESET levels")
-	}
-	data = data[k:]
-	vc := &core.VCCoreset{}
-	for i := uint64(0); i < nLevels; i++ {
-		ids, rest, err := graph.DecodeIDs(data)
-		if err != nil {
-			return s, err
-		}
-		data = rest
-		if len(ids) == 0 {
-			ids = nil // RemoveAtLeast yields nil for an empty level
-		}
-		vc.Levels = append(vc.Levels, ids)
-		vc.Fixed = append(vc.Fixed, ids...)
-	}
-	residual, rest, err := graph.DecodeEdgeBatch(data)
-	if err != nil {
-		return s, err
-	}
-	if len(rest) != 0 {
-		return s, fmt.Errorf("cluster: %d trailing bytes after CORESET", len(rest))
-	}
-	if residual == nil {
-		residual = []graph.Edge{}
-	}
-	vc.Residual = residual
-	s.VC = vc
-	s.Bytes = core.VCCoresetSizeBytes(vc) // simulated estimate, for Est* stats
-	return s, nil
+	return task.DecodeSummary(d, data)
 }

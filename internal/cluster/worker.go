@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
 // Worker is a resident coreset worker: it accepts any number of concurrent
@@ -246,18 +247,17 @@ func (w *Worker) handle(conn net.Conn) (err error) {
 	tr := w.tracer.WithRun(h.runID)
 	endRun := tr.Span("worker.run", "machine", h.machine, "task", taskName(h.task), "k", h.k)
 	defer func() { endRun() }()
-	if h.task == taskEDCSRounds {
-		return w.serveRounds(conn, h, nHint, tr)
+	// decodeHello already rejected unknown task bytes, so the registry lookup
+	// cannot miss; the descriptor supplies the machine's builder, so the
+	// worker itself is task-agnostic.
+	d, multiRound, _ := task.ByWire(h.task)
+	mk := func() *stream.Machine {
+		return stream.NewMachine(d.NewBuilder(h.k, nHint, task.Params{EDCS: h.edcs}))
 	}
-	var m *stream.Machine
-	switch h.task {
-	case taskMatching:
-		m = stream.NewMatchingMachine()
-	case taskEDCS:
-		m = stream.NewEDCSMachine(nHint, h.edcs)
-	default: // taskVC, validated by decodeHello
-		m = stream.NewVCMachine(h.k, nHint)
+	if multiRound {
+		return w.serveRounds(conn, h, mk, tr)
 	}
+	m := mk()
 
 	tm := new(workerTelem)
 	for {
@@ -335,19 +335,19 @@ func (w *Worker) consumeFrame(conn net.Conn, h hello, m *stream.Machine, round i
 	}
 }
 
-// serveRounds speaks a multi-round EDCS assignment (internal/rounds): up to
+// serveRounds speaks a multi-round assignment (internal/rounds): up to
 // h.rounds rounds of SHARD*/EOS on this one connection, each answered by one
-// CORESET, with a FRESH machine per round — round r's input is a different
-// graph (the union of round r-1's coresets across all machines), so nothing
-// may carry over. The coordinator cannot know the final round count upfront
-// (its early exit fires when the union stops shrinking) and may also drop
-// this machine from later rounds (the schedule shrinks k), so it ends the
-// assignment by closing the connection at a round boundary; a read error
-// before any frame of a new round is therefore a clean end of run, while one
-// mid-round is a real abort.
-func (w *Worker) serveRounds(conn net.Conn, h hello, nHint int, tr *obs.Tracer) error {
+// CORESET, with a FRESH machine per round (built by mk) — round r's input is
+// a different graph (the union of round r-1's coresets across all machines),
+// so nothing may carry over. The coordinator cannot know the final round
+// count upfront (its early exit fires when the union stops shrinking) and
+// may also drop this machine from later rounds (the schedule shrinks k), so
+// it ends the assignment by closing the connection at a round boundary; a
+// read error before any frame of a new round is therefore a clean end of
+// run, while one mid-round is a real abort.
+func (w *Worker) serveRounds(conn net.Conn, h hello, mk func() *stream.Machine, tr *obs.Tracer) error {
 	for round := 0; round < h.rounds; round++ {
-		m := stream.NewEDCSMachine(nHint, h.edcs)
+		m := mk()
 		tm := new(workerTelem) // fresh per round, like the machine
 		inRound := false
 		endRound := func(...any) {}

@@ -1,0 +1,128 @@
+// Package diversity implements a randomized composable core-set for
+// dispersion (diversity) maximization in the style of "Randomized
+// Composable Core-sets for Distributed Submodular Maximization" (Mirrokni,
+// Zadimoghaddam; arXiv:1506.06715): each machine summarizes its partition
+// with a greedy k-center selection, and the coordinator re-runs the same
+// greedy on the union of the summaries.
+//
+// The ground set here is the graph's touched vertices and the metric is the
+// line metric d(u, v) = |u - v| over vertex IDs — deliberately simple, so
+// the family exercises the task registry (a vertex-set summary with its own
+// wire body, composer and CLI labels) without dragging in a geometry
+// dependency. The objective is max-min dispersion: choose at most k points
+// maximizing the minimum pairwise distance.
+//
+// Everything here is a pure function of the (sorted, deduplicated) input
+// vertex set, so per-machine summaries and the composed solution are
+// bit-for-bit identical across the batch, stream and cluster runtimes for
+// the same hash k-partitioning — the same seed-parity guarantee the
+// matching and vertex-cover coresets carry.
+package diversity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DefaultK is the number of centers a per-machine summary (and the composed
+// solution) selects. It parallels edcs.DefaultBeta: a fixed, surface-wide
+// default rather than a per-request knob.
+const DefaultK = 8
+
+// Centers selects up to k centers from verts by the Gonzalez greedy
+// (farthest-point traversal) on the line metric: seed with the smallest ID,
+// then repeatedly add the vertex maximizing the distance to its nearest
+// chosen center, breaking ties toward the smallest ID. Duplicates in verts
+// are ignored. The result is sorted ascending and never nil — the canonical
+// form the wire codec round-trips.
+func Centers(verts []graph.ID, k int) []graph.ID {
+	vs := append([]graph.ID(nil), verts...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	vs = dedupSorted(vs)
+	centers := make([]graph.ID, 0, min(k, len(vs)))
+	if len(vs) == 0 || k <= 0 {
+		return centers
+	}
+	centers = append(centers, vs[0])
+	// minDist[i] is vs[i]'s distance to its nearest chosen center; chosen
+	// vertices sit at 0 and are never re-picked.
+	minDist := make([]int64, len(vs))
+	for i, v := range vs {
+		minDist[i] = dist(v, vs[0])
+	}
+	for len(centers) < k && len(centers) < len(vs) {
+		best, bestD := -1, int64(0)
+		for i := range vs {
+			// Strict > keeps the first (smallest-ID) maximizer: the
+			// deterministic tie-break every runtime reproduces.
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := vs[best]
+		centers = append(centers, c)
+		for i, v := range vs {
+			if d := dist(v, c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+	return centers
+}
+
+// Dispersion returns the max-min objective of a center set: the minimum
+// pairwise distance under the line metric (0 for fewer than two centers).
+// For a sorted set the minimum pairwise distance is the minimum adjacent
+// gap.
+func Dispersion(centers []graph.ID) int {
+	if len(centers) < 2 {
+		return 0
+	}
+	cs := append([]graph.ID(nil), centers...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	best := dist(cs[0], cs[1])
+	for i := 2; i < len(cs); i++ {
+		if d := dist(cs[i-1], cs[i]); d < best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// Verify checks a composed center set: strictly ascending (sorted, no
+// duplicates) with every center a valid vertex of an n-vertex graph.
+func Verify(n int, centers []graph.ID) error {
+	for i, c := range centers {
+		if c < 0 || int(c) >= n {
+			return fmt.Errorf("diversity: center %d outside [0, %d)", c, n)
+		}
+		if i > 0 && centers[i-1] >= c {
+			return fmt.Errorf("diversity: centers not strictly ascending at index %d", i)
+		}
+	}
+	return nil
+}
+
+func dist(u, v graph.ID) int64 {
+	d := int64(u) - int64(v)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func dedupSorted(vs []graph.ID) []graph.ID {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

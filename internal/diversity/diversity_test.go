@@ -1,0 +1,118 @@
+package diversity
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func ids(vs ...int) []graph.ID {
+	out := make([]graph.ID, len(vs))
+	for i, v := range vs {
+		out[i] = graph.ID(v)
+	}
+	return out
+}
+
+func TestCentersGreedyFarthestPoint(t *testing.T) {
+	// Seed is the smallest ID (0); the farthest point from it is 100; the
+	// next pick maximizes the distance to {0, 100}, which is 40 (min dist
+	// 40) against 10 (10) and 90 (10).
+	got := Centers(ids(90, 0, 10, 100, 40), 3)
+	if want := ids(0, 40, 100); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Centers = %v, want %v", got, want)
+	}
+}
+
+func TestCentersTieBreaksTowardSmallestID(t *testing.T) {
+	// After [0, 8], vertices 3 and 5 are both at distance 3 from their
+	// nearest center: strict > keeps the first maximizer, i.e. the
+	// smallest ID (3).
+	got := Centers(ids(5, 8, 0, 3), 3)
+	if want := ids(0, 3, 8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Centers = %v, want %v", got, want)
+	}
+}
+
+func TestCentersDeduplicatesAndSorts(t *testing.T) {
+	got := Centers(ids(7, 7, 3, 3, 9), 5)
+	if want := ids(3, 7, 9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Centers = %v, want %v", got, want)
+	}
+}
+
+func TestCentersEdgeCases(t *testing.T) {
+	if got := Centers(nil, 4); got == nil || len(got) != 0 {
+		t.Fatalf("Centers(nil) = %#v, want non-nil empty", got)
+	}
+	if got := Centers(ids(1, 2, 3), 0); got == nil || len(got) != 0 {
+		t.Fatalf("Centers(k=0) = %#v, want non-nil empty", got)
+	}
+	if got := Centers(ids(5), 3); !reflect.DeepEqual(got, ids(5)) {
+		t.Fatalf("Centers(single) = %v", got)
+	}
+}
+
+func TestCentersDeterministicUnderInputOrder(t *testing.T) {
+	a := Centers(ids(4, 99, 17, 62, 8, 31), 3)
+	b := Centers(ids(31, 8, 62, 17, 99, 4), 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("input order changed the centers: %v vs %v", a, b)
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	if got := Dispersion(ids(0, 40, 100)); got != 40 {
+		t.Fatalf("Dispersion = %d, want 40", got)
+	}
+	if got := Dispersion(ids(100, 0, 40)); got != 40 {
+		t.Fatalf("Dispersion(unsorted) = %d, want 40", got)
+	}
+	if got := Dispersion(ids(7)); got != 0 {
+		t.Fatalf("Dispersion(single) = %d, want 0", got)
+	}
+	if got := Dispersion(nil); got != 0 {
+		t.Fatalf("Dispersion(nil) = %d, want 0", got)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	if err := Verify(101, ids(0, 40, 100)); err != nil {
+		t.Fatalf("valid centers rejected: %v", err)
+	}
+	if err := Verify(100, ids(0, 100)); err == nil {
+		t.Fatal("out-of-range center accepted")
+	}
+	if err := Verify(100, ids(40, 40)); err == nil {
+		t.Fatal("duplicate centers accepted")
+	}
+	if err := Verify(100, ids(40, 20)); err == nil {
+		t.Fatal("descending centers accepted")
+	}
+	if err := Verify(100, nil); err != nil {
+		t.Fatalf("empty centers rejected: %v", err)
+	}
+}
+
+// Composability sanity: the greedy over the union of per-part greedy
+// summaries must pick a spread no worse than half the single-machine
+// optimum's adjacent structure on a line — here we just pin that composing
+// summaries of a split input yields the same answer as the whole input when
+// every part's summary retains the extremes.
+func TestComposeOverSummaries(t *testing.T) {
+	all := ids(0, 5, 9, 50, 55, 60, 95, 99, 100)
+	whole := Centers(all, 3)
+
+	partA := ids(0, 5, 50, 95, 100)
+	partB := ids(9, 55, 60, 99)
+	union := append(Centers(partA, 3), Centers(partB, 3)...)
+	composed := Centers(union, 3)
+
+	if Dispersion(composed) == 0 || Dispersion(whole) == 0 {
+		t.Fatal("degenerate dispersion")
+	}
+	if Dispersion(composed) < Dispersion(whole)/2 {
+		t.Fatalf("composed dispersion %d collapsed below half of %d", Dispersion(composed), Dispersion(whole))
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
 // Metric names this package reports through Config.Obs (see internal/obs):
@@ -70,8 +71,9 @@ const (
 // MaxRounds is the sanity cap every user-facing surface (CLI flag, service
 // request) applies to the round cap. The paper's schedule needs
 // O(log log n) rounds — single digits for any real input — so anything near
-// this cap is already nonsense.
-const MaxRounds = 64
+// this cap is already nonsense. It restates the registry-wide task.MaxRounds
+// so every surface shares one bound.
+const MaxRounds = task.MaxRounds
 
 // Config parameterizes a multi-round run.
 type Config struct {
@@ -249,7 +251,7 @@ func mergeMachines(acc, add []int) []int {
 // per-round breakdown rides in RoundStats.
 func (s *Stats) Report(mode string, seed uint64, solutionSize, beta int) *graph.RunReport {
 	rep := &graph.RunReport{
-		Task:               "edcs",
+		Task:               task.RoundsCapable().Name,
 		Mode:               mode,
 		N:                  s.N,
 		M:                  s.EdgesTotal,

@@ -8,12 +8,12 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
 // Sentinel errors Submit maps to HTTP statuses.
@@ -139,6 +139,10 @@ type Manager struct {
 	seq       int
 	closed    bool
 	submitted int64
+	// byTask counts submissions per task name (cache hits included). Keys
+	// are seeded from the task registry at construction so every registered
+	// task reports a zero-valued series from startup.
+	byTask map[string]int64
 	// Cumulative terminal-state counters: they survive retention pruning,
 	// so /v1/stats keeps honest lifetime totals.
 	nDone, nFailed, nCanceled int64
@@ -195,6 +199,10 @@ func NewManager(reg *Registry, cache *Cache, workers, queueDepth, retention int,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
+		byTask:     make(map[string]int64, len(task.Names())),
+	}
+	for _, name := range task.Names() {
+		m.byTask[name] = 0
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -253,6 +261,8 @@ func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 		close(j.done)
 		m.jobs[j.ID] = j
 		m.submitted++
+		m.byTask[req.Task]++
+		m.ins.noteJob(req.Task)
 		m.noteTerminalLocked(j)
 		return j, nil
 	}
@@ -264,6 +274,8 @@ func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 	}
 	m.jobs[j.ID] = j
 	m.submitted++
+	m.byTask[req.Task]++
+	m.ins.noteJob(req.Task)
 	return j, nil
 }
 
@@ -363,41 +375,42 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 	}
 
 	req := j.Req
+	// normalize admitted the task, so the registry lookup cannot miss; the
+	// descriptor is the single dispatch point for every mode below — no
+	// per-task branching here, so a newly registered task runs through all
+	// three modes without a service change.
+	desc, ok := task.Get(req.Task)
+	if !ok {
+		return nil, fmt.Errorf("service: task %q vanished from the registry", req.Task)
+	}
+	p := task.Params{}
+	if desc.UsesBeta {
+		p.EDCS = edcs.ParamsForBeta(req.Beta)
+	}
+	// Multi-round execution is a registry capability: normalize already
+	// rejected Rounds on tasks without it.
+	multiRound := desc.WireRounds != 0 && req.Rounds >= 1
+
 	if req.Mode == ModeStream {
 		src, err := entry.Source()
 		if err != nil {
 			return nil, err
 		}
-		cfg := stream.Config{K: req.K, Seed: req.Seed, BatchSize: req.Batch}
-		switch req.Task {
-		case TaskMatching:
-			sol, st, err := stream.MatchingContext(j.ctx, src, cfg)
+		if multiRound {
+			sol, st, err := rounds.Stream(j.ctx, src, m.roundsConfig(req))
 			if err != nil {
 				return nil, err
 			}
-			return st.Report(req.Task, req.Seed, sol.Size()), nil
-		case TaskEDCS:
-			if req.Rounds >= 1 {
-				sol, st, err := rounds.Stream(j.ctx, src, m.roundsConfig(req))
-				if err != nil {
-					return nil, err
-				}
-				return st.Report(ModeStream, req.Seed, sol.Size(), req.Beta), nil
-			}
-			sol, st, err := stream.EDCSContext(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
-			if err != nil {
-				return nil, err
-			}
-			rep := st.Report(req.Task, req.Seed, sol.Size())
-			rep.Beta = req.Beta
-			return rep, nil
-		default: // TaskVC
-			cover, st, err := stream.VertexCoverContext(j.ctx, src, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return st.Report(req.Task, req.Seed, len(cover)), nil
+			return st.Report(ModeStream, req.Seed, sol.Size(), req.Beta), nil
 		}
+		cfg := stream.Config{K: req.K, Seed: req.Seed, BatchSize: req.Batch}
+		sol, st, err := stream.Solve(j.ctx, src, cfg, desc, p)
+		if err != nil {
+			return nil, err
+		}
+		rep := st.Report(req.Task, req.Seed, sol.Size)
+		rep.Beta = req.Beta // nonzero only for beta-capable tasks (normalize pins the rest to 0)
+		return rep, nil
 	}
 	if req.Mode == ModeCluster {
 		src, err := entry.Source()
@@ -417,35 +430,20 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 			Obs:        m.ins.eventSink(),
 			RunID:      j.runID,
 		}
-		switch req.Task {
-		case TaskMatching:
-			sol, st, err := cluster.Matching(j.ctx, src, cfg)
+		if multiRound {
+			sol, st, err := rounds.Cluster(j.ctx, src, cfg, m.roundsConfig(req))
 			if err != nil {
 				return nil, err
 			}
-			return st.Report(req.Task, req.Seed, sol.Size()), nil
-		case TaskEDCS:
-			if req.Rounds >= 1 {
-				sol, st, err := rounds.Cluster(j.ctx, src, cfg, m.roundsConfig(req))
-				if err != nil {
-					return nil, err
-				}
-				return st.Report(ModeCluster, req.Seed, sol.Size(), req.Beta), nil
-			}
-			sol, st, err := cluster.EDCS(j.ctx, src, cfg, edcs.ParamsForBeta(req.Beta))
-			if err != nil {
-				return nil, err
-			}
-			rep := st.Report(req.Task, req.Seed, sol.Size())
-			rep.Beta = req.Beta
-			return rep, nil
-		default: // TaskVC
-			cover, st, err := cluster.VertexCover(j.ctx, src, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return st.Report(req.Task, req.Seed, len(cover)), nil
+			return st.Report(ModeCluster, req.Seed, sol.Size(), req.Beta), nil
 		}
+		sol, st, err := cluster.Solve(j.ctx, src, cfg, desc, p)
+		if err != nil {
+			return nil, err
+		}
+		rep := st.Report(req.Task, req.Seed, sol.Size)
+		rep.Beta = req.Beta
+		return rep, nil
 	}
 
 	g, err := entry.Materialize()
@@ -455,7 +453,7 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
-	if req.Task == TaskEDCS && req.Rounds >= 1 {
+	if multiRound {
 		sol, st, err := rounds.Batch(g, m.roundsConfig(req))
 		if err != nil {
 			return nil, err
@@ -466,27 +464,13 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 		return st.Report(ModeBatch, req.Seed, sol.Size(), req.Beta), nil
 	}
 	start := time.Now()
-	var (
-		size int
-		st   *core.PipelineStats
-	)
-	switch req.Task {
-	case TaskMatching:
-		sol, pst := core.DistributedMatching(g, req.K, 0, req.Seed)
-		size, st = sol.Size(), pst
-	case TaskEDCS:
-		sol, pst := edcs.Distributed(g, req.K, 0, req.Seed, edcs.ParamsForBeta(req.Beta))
-		size, st = sol.Size(), pst
-	default: // TaskVC
-		cover, pst := core.DistributedVertexCover(g, req.K, 0, req.Seed)
-		size, st = len(cover), pst
-	}
+	sol, st := desc.Batch(g, req.K, 0, req.Seed, p)
 	d := time.Since(start)
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep := st.Report(req.Task, g.N, g.M(), req.Seed, size, d)
-	rep.Beta = req.Beta // nonzero only for TaskEDCS (normalize pins the rest to 0)
+	rep := st.Report(req.Task, g.N, g.M(), req.Seed, sol.Size, d)
+	rep.Beta = req.Beta
 	return rep, nil
 }
 
@@ -502,6 +486,10 @@ func (m *Manager) Stats() JobStats {
 		Done:      int(m.nDone),
 		Failed:    int(m.nFailed),
 		Canceled:  int(m.nCanceled),
+		ByTask:    make(map[string]int64, len(m.byTask)),
+	}
+	for name, n := range m.byTask {
+		st.ByTask[name] = n
 	}
 	for _, j := range m.jobs {
 		switch j.State() {

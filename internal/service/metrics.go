@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/task"
 )
 
 // Metric names the service exposes at GET /metrics. Everything here is
@@ -12,6 +13,7 @@ import (
 // are instantaneous reads of queue and registry state.
 const (
 	MetricJobDuration   = "service_job_duration_seconds"
+	MetricJobsTotal     = "service_jobs_total"
 	MetricJobsInflight  = "service_jobs_inflight"
 	MetricQueueDepth    = "service_queue_depth"
 	MetricJobsSubmitted = "service_jobs_submitted_total"
@@ -36,29 +38,47 @@ type Instruments struct {
 	sink   obs.Sink
 	tracer *obs.Tracer
 
-	jobDur   *obs.HistogramVec // label values: task, mode
-	inflight *obs.Gauge
+	jobDur    *obs.HistogramVec // label values: task, mode
+	jobsTotal *obs.CounterVec   // label values: task
+	inflight  *obs.Gauge
 }
 
 // newInstruments creates the write-side collectors; the function-backed
 // metrics over existing stats structures are registered later by
 // registerStatFuncs, once the structures exist.
 func newInstruments(reg *obs.Registry, tracer *obs.Tracer) *Instruments {
-	return &Instruments{
+	ins := &Instruments{
 		reg:    reg,
 		sink:   obs.NewRegistrySink(reg),
 		tracer: tracer,
 		jobDur: reg.HistogramVec(MetricJobDuration,
 			"Wall-clock seconds per executed job (cache hits never reach the pipeline).",
 			nil, "task", "mode"),
+		jobsTotal: reg.CounterVec(MetricJobsTotal,
+			"Jobs accepted per task (lifetime, cache hits included).", "task"),
 		inflight: reg.Gauge(MetricJobsInflight, "Jobs currently executing on the worker pool."),
 	}
+	// Pre-touch one child per registered task so every task renders a
+	// zero-valued series from the first scrape. The label values come from
+	// the task registry — registering a new task is the only step needed
+	// for it to appear here.
+	for _, name := range task.Names() {
+		ins.jobsTotal.With(name).Add(0)
+	}
+	return ins
 }
 
 // observeJob records one executed job's latency.
 func (ins *Instruments) observeJob(task, mode string, d time.Duration) {
 	if ins != nil {
 		ins.jobDur.With(task, mode).Observe(d.Seconds())
+	}
+}
+
+// noteJob counts one accepted job against its task's series.
+func (ins *Instruments) noteJob(task string) {
+	if ins != nil {
+		ins.jobsTotal.With(task).Inc()
 	}
 }
 

@@ -43,11 +43,16 @@ import (
 	"repro/internal/rng"
 	"repro/internal/rounds"
 	"repro/internal/stream"
+	"repro/internal/task"
 )
 
-// Task names accepted by the job API. TaskEDCS composes a matching from
-// per-machine edge-degree constrained subgraphs (arXiv:1711.03076) instead
-// of the SPAA'17 maximum-matching coresets.
+// Task names accepted by the job API. The authoritative list is the task
+// registry (internal/task) — normalize admits exactly the registered names,
+// so a new task is accepted the moment it registers, with no change here.
+// The constants below name the built-in tasks for call sites and tests.
+// TaskEDCS composes a matching from per-machine edge-degree constrained
+// subgraphs (arXiv:1711.03076) instead of the SPAA'17 maximum-matching
+// coresets.
 const (
 	TaskMatching = "matching"
 	TaskVC       = "vc"
@@ -197,43 +202,29 @@ func badRequestf(format string, args ...any) error {
 // ValidateTaskParams checks the task-scoped EDCS parameters — the degree
 // bound and the multi-round cap — shared by every user-facing surface:
 // cmd/coreset's flags, cmd/coresetload's flags and this service's job API
-// all call it, so the three cannot drift on bounds or message text. Zero
-// means "not set" for both parameters; the returned error text is the
-// canonical vocabulary, to which each caller adds its own prefix (the
-// service wraps it in ErrInvalidRequest for 4xx classification).
-func ValidateTaskParams(task string, beta, rounds int) error {
-	if beta != 0 {
-		if task != TaskEDCS {
-			return fmt.Errorf("beta only applies to task %q (got task %q)", TaskEDCS, task)
-		}
-		if beta < 2 || beta > MaxJobBeta {
-			return fmt.Errorf("beta must be in [2, %d] (got %d)", MaxJobBeta, beta)
-		}
-	}
-	if rounds != 0 {
-		if task != TaskEDCS {
-			return fmt.Errorf("rounds only applies to task %q (got task %q)", TaskEDCS, task)
-		}
-		if rounds < 0 || rounds > MaxJobRounds {
-			return fmt.Errorf("rounds must be in [0, %d] (got %d)", MaxJobRounds, rounds)
-		}
-	}
-	return nil
+// all call it, so the three cannot drift on bounds or message text. The
+// actual table lives with the task registry (task.ValidateParams, driven by
+// the descriptors' capability flags); this wrapper keeps the service-level
+// name the other surfaces import. Zero means "not set" for both parameters;
+// the returned error text is the canonical vocabulary, to which each caller
+// adds its own prefix (the service wraps it in ErrInvalidRequest for 4xx
+// classification).
+func ValidateTaskParams(taskName string, beta, rounds int) error {
+	return task.ValidateParams(taskName, beta, rounds)
 }
 
 func (r *CreateJobRequest) normalize() error {
 	if r.Mode == "" {
 		r.Mode = ModeStream
 	}
-	switch r.Task {
-	case TaskMatching, TaskVC, TaskEDCS:
-	default:
+	d, ok := task.Get(r.Task)
+	if !ok {
 		return badRequestf("unknown task %q", r.Task)
 	}
 	if err := ValidateTaskParams(r.Task, r.Beta, r.Rounds); err != nil {
 		return badRequestf("%s", err)
 	}
-	if r.Task == TaskEDCS && r.Beta == 0 {
+	if d.UsesBeta && r.Beta == 0 {
 		// Pin the default so cache keys are canonical; ParamsForBeta clamps
 		// any bound >= 2 into a valid pair, so ValidateTaskParams' range
 		// check was the whole validation.
@@ -300,6 +291,12 @@ type JobStats struct {
 	Failed    int   `json:"failed"`
 	Canceled  int   `json:"canceled"`
 	QueueLen  int   `json:"queueLen"`
+	// ByTask counts submissions per task name (lifetime, cache hits
+	// included). Every registered task appears from startup with a zero
+	// count — the keys come from the task registry, so a newly registered
+	// task shows up here and in the service_jobs_total metric without any
+	// service change.
+	ByTask map[string]int64 `json:"byTask"`
 }
 
 // CacheStats reports result-cache effectiveness.

@@ -1,234 +1,18 @@
 package stream
 
 import (
-	"math"
-
-	"repro/internal/core"
-	"repro/internal/edcs"
 	"repro/internal/graph"
-	"repro/internal/matching"
+	"repro/internal/task"
 )
 
-// builder is one machine's incremental coreset state. add is called once per
-// routed edge, in arrival order, by that machine's goroutine only; finish is
-// called exactly once, after the stream is drained, with the final vertex
-// count.
-type builder interface {
-	add(e graph.Edge)
-	finish(n int) Summary
-}
-
-// Summary is a machine's end-of-stream message to the coordinator: exactly
-// one of the two coreset fields is set, plus accounting. It is exported so
-// runtimes hosting machines outside this package — the cluster runtime's
-// worker processes (internal/cluster) — emit the very same message type the
-// in-process pipeline does.
-type Summary struct {
-	machine int             // index within one run (set by the pipeline)
-	Coreset []graph.Edge    // Theorem 1 maximum matching, or EDCS H-edges
-	VC      *core.VCCoreset // Theorem 2: peeled vertices + sparse residual
-	Edges   int             // edges routed to this machine
-	Stored  int             // edges still held when the stream ended
-	Live    int             // matching: online greedy size; vc: online peel count; edcs: repair removals
-	Bytes   int             // encoded message size (simulated estimate)
-}
-
-// matchingBuilder is the Theorem 1 machine. It stores its partition — the
-// O(m/k) space the model grants each machine — while maintaining a one-pass
-// greedy matching as live telemetry (a 2-approximation of the partition's
-// maximum matching at every instant). At end of stream it emits exactly the
-// batch pipeline's summary: a maximum matching of the stored partition,
-// computed by the same core.MatchingCoreset call, so streaming and batch
-// runs over the same k-partitioning are bit-for-bit identical.
-type matchingBuilder struct {
-	edges []graph.Edge
-	live  *matching.Incremental
-}
-
-func newMatchingBuilder() *matchingBuilder {
-	return &matchingBuilder{live: matching.NewIncremental()}
-}
-
-func (b *matchingBuilder) add(e graph.Edge) {
-	b.edges = append(b.edges, e)
-	b.live.Add(e)
-}
-
-func (b *matchingBuilder) finish(n int) Summary {
-	cs := core.MatchingCoreset(n, b.edges)
-	return Summary{
-		Coreset: cs,
-		Stored:  len(b.edges),
-		Live:    b.live.Size(),
-		Bytes:   core.CoresetSizeBytes(cs),
-	}
-}
-
-// vcBuilder is the Theorem 2 machine: incremental degree tracking with
-// online level-1 peeling. Degrees only grow as edges arrive, so a vertex
-// belongs to the first peeled level iff its running degree ever reaches the
-// level-1 threshold n/(4k) — the builder detects this the moment it happens,
-// fixes the vertex into the cover immediately, and discards every subsequent
-// edge incident to it (such edges are already covered and can never reach the
-// residual). Stored edges incident to later-peeled vertices are removed at
-// finish, where peeling resumes at level 2 on the surviving subgraph. The
-// emitted coreset is field-for-field identical to the batch
-// core.ComputeVCCoreset on the same partition; online peeling only reduces
-// the edges held in memory.
-//
-// Online peeling needs the thresholds — hence n — upfront; when the source
-// cannot declare n (headerless edge lists), the builder degrades to storing
-// its partition and running the full batch peel at finish.
-type vcBuilder struct {
-	k         int
-	threshold int // level-1 peel threshold; 0 disables online peeling
-	deg       []int32
-	peeled    []bool
-	nPeeled   int
-	stored    []graph.Edge
-	received  int
-}
-
-func newVCBuilder(k, nHint int) *vcBuilder {
-	b := &vcBuilder{k: k}
-	if nHint > 0 && core.PeelingDepth(nHint, k) > 1 {
-		// Level j = 1 peels at residual degree >= ceil(n / (k * 2^(j+1))).
-		b.threshold = int(math.Ceil(float64(nHint) / (float64(k) * 4)))
-		b.deg = make([]int32, nHint)
-		b.peeled = make([]bool, nHint)
-	}
-	return b
-}
-
-// grow extends the degree tables to cover vertex v (defensive: sources that
-// declare n upfront should never exceed it).
-func (b *vcBuilder) grow(v graph.ID) {
-	for int(v) >= len(b.deg) {
-		b.deg = append(b.deg, 0)
-		b.peeled = append(b.peeled, false)
-	}
-}
-
-func (b *vcBuilder) add(e graph.Edge) {
-	b.received++
-	if b.threshold == 0 {
-		// No vertex count, no thresholds: just store the partition; finish
-		// runs the full batch peel.
-		b.stored = append(b.stored, e)
-		return
-	}
-	b.grow(e.U)
-	b.grow(e.V)
-	// Every arrival counts toward both endpoint degrees — including edges
-	// that are then discarded — because the batch level-1 set is defined by
-	// degrees in the machine's FULL partition.
-	b.deg[e.U]++
-	b.deg[e.V]++
-	b.peel(e.U)
-	b.peel(e.V)
-	if b.peeled[e.U] || b.peeled[e.V] {
-		return // covered by a fixed vertex; never reaches the residual
-	}
-	b.stored = append(b.stored, e)
-}
-
-func (b *vcBuilder) peel(v graph.ID) {
-	if !b.peeled[v] && int(b.deg[v]) >= b.threshold {
-		b.peeled[v] = true
-		b.nPeeled++
-	}
-}
-
-func (b *vcBuilder) finish(n int) Summary {
-	var cs *core.VCCoreset
-	if b.threshold == 0 {
-		cs = core.ComputeVCCoreset(n, b.k, b.stored)
-	} else {
-		cs = b.finishFromLevel2(n)
-	}
-	return Summary{
-		VC:     cs,
-		Stored: len(b.stored),
-		Live:   b.nPeeled,
-		Bytes:  core.VCCoresetSizeBytes(cs),
-	}
-}
-
-// finishFromLevel2 resumes the VC-Coreset peel after the online level-1 pass:
-// remove the already-peeled vertices from the stored subgraph, then run
-// levels 2..Delta-1 exactly as the batch algorithm does.
-func (b *vcBuilder) finishFromLevel2(n int) *core.VCCoreset {
-	delta := core.PeelingDepth(n, b.k)
-	// Batch RemoveAtLeast reports each level in ascending vertex order; match
-	// it so the coresets compare deep-equal.
-	var level1 []graph.ID
-	for v := 0; v < len(b.peeled); v++ {
-		if b.peeled[v] {
-			level1 = append(level1, graph.ID(v))
-		}
-	}
-	res := graph.NewResidual(n, b.stored)
-	for _, v := range level1 {
-		res.Remove(v)
-	}
-	out := &core.VCCoreset{}
-	out.Levels = append(out.Levels, level1)
-	out.Fixed = append(out.Fixed, level1...)
-	for j := 2; j <= delta-1; j++ {
-		threshold := float64(n) / (float64(b.k) * math.Pow(2, float64(j+1)))
-		peeled := res.RemoveAtLeast(int(math.Ceil(threshold)))
-		out.Levels = append(out.Levels, peeled)
-		out.Fixed = append(out.Fixed, peeled...)
-	}
-	out.Residual = res.LiveEdges()
-	return out
-}
-
-// edcsBuilder is the EDCS machine (arXiv:1711.03076): a dynamic
-// edge-degree constrained subgraph maintained by insertion with
-// degree-constraint repair. Unlike the Theorem 1 builder it does genuinely
-// incremental summary work on every arrival — H is always a valid
-// EDCS(arrived-so-far, β, β⁻) — and finish only sorts the H edge list into
-// the canonical coreset message. The EDCS is a pure function of the
-// machine's arrival order, which every runtime reproduces from the same
-// hash k-partitioning, so EDCS coresets are bit-for-bit identical across
-// batch, stream and cluster.
-type edcsBuilder struct {
-	sub *edcs.Subgraph
-}
-
-func newEDCSBuilder(nHint int, p edcs.Params) *edcsBuilder {
-	return &edcsBuilder{sub: edcs.New(nHint, p)}
-}
-
-func (b *edcsBuilder) add(e graph.Edge) { b.sub.Insert(e) }
-
-// telem exposes the subgraph's fixpoint counters for MachineTelem; it is the
-// telemetered-builder hook and deliberately NOT part of Summary, whose shape
-// is pinned by the cross-runtime seed-parity codec tests.
-func (b *edcsBuilder) telem() MachineTelem {
-	return MachineTelem{
-		RepairIters: b.sub.RepairIters(),
-		Removals:    b.sub.Removals(),
-		PeakCoreset: b.sub.PeakSize(),
-	}
-}
-
-func (b *edcsBuilder) finish(n int) Summary {
-	cs := b.sub.Edges()
-	return Summary{
-		Coreset: cs,
-		Stored:  b.sub.Stored(),
-		Live:    b.sub.Removals(),
-		Bytes:   core.CoresetSizeBytes(cs),
-	}
-}
-
-// collectBuilder records its shard verbatim; Shard uses it to expose the
+// The per-task machine builders (Theorem 1 matching, Theorem 2 vertex
+// cover, EDCS, ...) live in internal/task, behind task.Descriptor.NewBuilder;
+// this runtime only hosts them. collectBuilder is the one builder that stays
+// here: it records its shard verbatim, and Shard uses it to expose the
 // runtime's routing for oracles, debugging and alternative backends.
 type collectBuilder struct{ edges []graph.Edge }
 
-func (b *collectBuilder) add(e graph.Edge) { b.edges = append(b.edges, e) }
-func (b *collectBuilder) finish(n int) Summary {
-	return Summary{Coreset: b.edges, Stored: len(b.edges)}
+func (b *collectBuilder) Add(e graph.Edge) { b.edges = append(b.edges, e) }
+func (b *collectBuilder) Finish(n int) task.Summary {
+	return task.Summary{Coreset: b.edges, Stored: len(b.edges)}
 }

@@ -53,7 +53,7 @@ func TestEDCSParity(t *testing.T) {
 	}
 }
 
-// TestEDCSBuilderDeepParity drives the edcs builder directly against the
+// TestEDCSBuilderDeepParity drives the edcs machine directly against the
 // batch edcs.Coreset on every oracle partition: deep-equal edge lists.
 func TestEDCSBuilderDeepParity(t *testing.T) {
 	p := edcs.ParamsForBeta(8)
@@ -62,11 +62,11 @@ func TestEDCSBuilderDeepParity(t *testing.T) {
 		const k = 3
 		parts := batchHashParts(g, k, seed)
 		for i, part := range parts {
-			b := newEDCSBuilder(g.N, p)
+			b := NewEDCSMachine(g.N, p)
 			for _, e := range part {
-				b.add(e)
+				b.Add(e)
 			}
-			got := b.finish(g.N).Coreset
+			got := b.Finish(g.N).Coreset
 			want := edcs.Coreset(g.N, part, p)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d machine %d: builder EDCS differs from batch", seed, i)

@@ -3,7 +3,19 @@ package stream
 import (
 	"repro/internal/edcs"
 	"repro/internal/graph"
+	"repro/internal/task"
 )
+
+// Summary is a machine's end-of-stream message to the coordinator. It is an
+// alias of task.Summary — one message type across every runtime, so coresets
+// built in-process, by cluster workers, or by the batch pipeline compare
+// deep-equal field for field.
+type Summary = task.Summary
+
+// MachineTelem is a machine's build-phase telemetry, separate from Summary
+// (whose wire shape is pinned by the seed-parity codec tests). Alias of
+// task.MachineTelem.
+type MachineTelem = task.MachineTelem
 
 // Machine is one machine's incremental coreset builder behind an exported
 // facade, for runtimes that host the paper's machines outside this package.
@@ -17,34 +29,42 @@ import (
 // Finish is called exactly once, with the final vertex count, after the last
 // Add.
 type Machine struct {
-	b        builder
+	b        task.Builder
 	received int
+}
+
+// NewMachine wraps a task builder — typically task.Descriptor.NewBuilder's
+// result — with the runtime's received-edge accounting. This is the only
+// constructor external hosts need; the per-task constructors below are
+// conveniences for the built-in tasks.
+func NewMachine(b task.Builder) *Machine {
+	return &Machine{b: b}
 }
 
 // NewMatchingMachine returns the Theorem 1 machine (stored partition, live
 // greedy telemetry, exact end-of-stream maximum matching).
 func NewMatchingMachine() *Machine {
-	return &Machine{b: newMatchingBuilder()}
+	return NewMachine(task.MustGet("matching").NewBuilder(0, 0, task.Params{}))
 }
 
 // NewVCMachine returns the Theorem 2 machine for a k-machine run. nHint > 0
 // declares the vertex count upfront and enables online level-1 peeling;
 // nHint = 0 stores the partition and peels entirely at Finish.
 func NewVCMachine(k, nHint int) *Machine {
-	return &Machine{b: newVCBuilder(k, nHint)}
+	return NewMachine(task.MustGet("vc").NewBuilder(k, nHint, task.Params{}))
 }
 
 // NewEDCSMachine returns the EDCS machine (dynamic edge-degree constrained
 // subgraph, arXiv:1711.03076) for the given degree constraints. nHint > 0
 // pre-sizes the per-vertex tables; it never changes the result.
 func NewEDCSMachine(nHint int, p edcs.Params) *Machine {
-	return &Machine{b: newEDCSBuilder(nHint, p)}
+	return NewMachine(task.MustGet("edcs").NewBuilder(0, nHint, task.Params{EDCS: p}))
 }
 
 // Add feeds one routed edge.
 func (m *Machine) Add(e graph.Edge) {
 	m.received++
-	m.b.add(e)
+	m.b.Add(e)
 }
 
 // Received returns how many edges have been added.
@@ -52,31 +72,16 @@ func (m *Machine) Received() int { return m.received }
 
 // Finish computes the end-of-stream summary for a final vertex count of n.
 func (m *Machine) Finish(n int) Summary {
-	s := m.b.finish(n)
+	s := m.b.Finish(n)
 	s.Edges = m.received
 	return s
-}
-
-// MachineTelem is a machine's build-phase telemetry, separate from Summary
-// (whose wire shape is pinned by the seed-parity codec tests): EDCS fixpoint
-// counters that describe how much repair work the build did. All fields are
-// zero for builders without incremental repair (matching, vc).
-type MachineTelem struct {
-	RepairIters int // dirty-vertex rescans in the EDCS repair fixpoint
-	Removals    int // H evictions (overfull edges removed by repair)
-	PeakCoreset int // largest |H| the machine ever held
-}
-
-// telemetered is the optional builder extension for build telemetry.
-type telemetered interface {
-	telem() MachineTelem
 }
 
 // Telem returns the machine's build telemetry; the zero value for builders
 // that do not track any.
 func (m *Machine) Telem() MachineTelem {
-	if t, ok := m.b.(telemetered); ok {
-		return t.telem()
+	if t, ok := m.b.(task.Telemetered); ok {
+		return t.Telem()
 	}
 	return MachineTelem{}
 }

@@ -11,13 +11,12 @@
 // partition.HashAssign — a seeded, position-independent hash, so the induced
 // random k-partitioning is reproducible and shardable in parallel, unlike
 // partition.RandomK. Each machine goroutine runs an incremental coreset
-// builder (one-pass greedy matching telemetry plus an exact end-of-stream
-// maximum matching for Theorem 1; incremental degree tracking with online
-// level-1 peeling for the Theorem 2 VC-coreset; a dynamic edge-degree
-// constrained subgraph with insertion-time repair for the EDCS coreset of
-// arXiv:1711.03076) and emits its summary, with communication accounting,
-// to the coordinator, which composes the final answer exactly as the batch
-// pipeline does.
+// builder obtained from the task registry (internal/task) — the runtime
+// itself knows nothing about matchings, vertex covers, EDCSs or any other
+// summary family; a task.Descriptor supplies the builder and the composer,
+// and Solve drives them. Each machine emits its summary, with communication
+// accounting, to the coordinator, which composes the final answer exactly as
+// the batch pipeline does.
 //
 // Given the same hash k-partitioning, the streaming runtime reproduces the
 // batch pipeline bit for bit (see the parity tests); what it changes is the
@@ -33,12 +32,12 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/edcs"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/task"
 )
 
 // DefaultBatchSize is the number of edges per routed batch when Config leaves
@@ -128,6 +127,53 @@ func (s *Stats) Report(task string, seed uint64, solutionSize int) *graph.RunRep
 	}
 }
 
+// Solve runs the full pipeline for any registered task: hash-shard the edges
+// across cfg.K machines, build the descriptor's per-machine summaries
+// incrementally, and compose the final solution from their union. It is the
+// single dispatch point of the streaming runtime; the task-named entry points
+// below are thin wrappers over it.
+func Solve(ctx context.Context, src EdgeSource, cfg Config, d *task.Descriptor, p task.Params) (task.Solution, *Stats, error) {
+	start := time.Now()
+	sums, st, err := Summaries(ctx, src, cfg, d, p)
+	if err != nil {
+		return task.Solution{}, nil, err
+	}
+	sol := d.Compose(st.N, sums)
+	st.Duration = time.Since(start)
+	return sol, st, nil
+}
+
+// Summaries runs only the shard+build stages of the pipeline and returns the
+// per-machine summaries (indexed by machine) without composing a solution.
+// It is the building block of the multi-round MPC driver (internal/rounds),
+// which unions the per-machine coresets into the next round's input instead
+// of composing; Solve is exactly this plus the composition. Coreset sizes
+// and communication accounting are already folded into the returned stats.
+func Summaries(ctx context.Context, src EdgeSource, cfg Config, d *task.Descriptor, p task.Params) ([]Summary, *Stats, error) {
+	if d.Validate != nil {
+		if err := d.Validate(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	start := time.Now()
+	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) task.Builder {
+		return d.NewBuilder(cfg.K, nHint, p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range sums {
+		n := d.CoresetLen(s)
+		st.CoresetEdges = append(st.CoresetEdges, n)
+		if d.FixedLen != nil {
+			st.CoresetFixed = append(st.CoresetFixed, d.FixedLen(s))
+		}
+		st.CompositionEdges += n
+	}
+	st.Duration = time.Since(start)
+	return sums, st, nil
+}
+
 // Matching runs the full Theorem 1 pipeline over the stream: hash-shard the
 // edges across cfg.K machines, maintain per-machine coresets incrementally,
 // and compose a maximum matching of the union of the summaries.
@@ -141,29 +187,11 @@ func Matching(src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
 // returned. It is the hook long-running callers (the coresetd job manager)
 // use to abandon a pipeline mid-stream without leaking goroutines.
 func MatchingContext(ctx context.Context, src EdgeSource, cfg Config) (*matching.Matching, *Stats, error) {
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
-		return newMatchingBuilder()
-	})
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("matching"), task.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
-	m := composeEdgeSummaries(sums, st)
-	st.Duration = time.Since(start)
-	return m, st, nil
-}
-
-// composeEdgeSummaries folds edge-list coresets (Theorem 1 matchings or
-// EDCSs — the pipelines share this tail) into the stats and composes the
-// final maximum matching of their union.
-func composeEdgeSummaries(sums []Summary, st *Stats) *matching.Matching {
-	coresets := make([][]graph.Edge, len(sums))
-	for i, s := range sums {
-		coresets[i] = s.Coreset
-		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
-		st.CompositionEdges += len(s.Coreset)
-	}
-	return core.ComposeMatching(st.N, coresets)
+	return sol.Matching, st, nil
 }
 
 // EDCS runs the EDCS coreset pipeline (arXiv:1711.03076) over the stream:
@@ -176,44 +204,17 @@ func EDCS(src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats
 
 // EDCSContext is EDCS with cooperative cancellation; see MatchingContext.
 func EDCSContext(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params) (*matching.Matching, *Stats, error) {
-	start := time.Now()
-	sums, st, err := EDCSSummaries(ctx, src, cfg, p)
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("edcs"), task.Params{EDCS: p})
 	if err != nil {
 		return nil, nil, err
 	}
-	coresets := make([][]graph.Edge, len(sums))
-	for i, s := range sums {
-		coresets[i] = s.Coreset
-	}
-	m := core.ComposeMatching(st.N, coresets)
-	st.Duration = time.Since(start)
-	return m, st, nil
+	return sol.Matching, st, nil
 }
 
-// EDCSSummaries runs only the shard+build stages of the EDCS pipeline and
-// returns the per-machine summaries (indexed by machine) without composing a
-// matching. It is the building block of the multi-round MPC driver
-// (internal/rounds), which unions the per-machine coresets into the next
-// round's input instead of composing; EDCSContext is exactly this plus the
-// composition. Coreset sizes and communication accounting are already folded
-// into the returned stats.
+// EDCSSummaries is Summaries for the EDCS task, kept for the multi-round
+// driver's call sites; see Summaries.
 func EDCSSummaries(ctx context.Context, src EdgeSource, cfg Config, p edcs.Params) ([]Summary, *Stats, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
-		return newEDCSBuilder(nHint, p)
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, s := range sums {
-		st.CoresetEdges = append(st.CoresetEdges, len(s.Coreset))
-		st.CompositionEdges += len(s.Coreset)
-	}
-	st.Duration = time.Since(start)
-	return sums, st, nil
+	return Summaries(ctx, src, cfg, task.MustGet("edcs"), task.Params{EDCS: p})
 }
 
 // VertexCover runs the full Theorem 2 pipeline over the stream and returns
@@ -225,23 +226,11 @@ func VertexCover(src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
 // VertexCoverContext is VertexCover with cooperative cancellation; see
 // MatchingContext.
 func VertexCoverContext(ctx context.Context, src EdgeSource, cfg Config) ([]graph.ID, *Stats, error) {
-	start := time.Now()
-	sums, st, err := run(ctx, src, cfg, func(machine, nHint int) builder {
-		return newVCBuilder(cfg.K, nHint)
-	})
+	sol, st, err := Solve(ctx, src, cfg, task.MustGet("vc"), task.Params{})
 	if err != nil {
 		return nil, nil, err
 	}
-	coresets := make([]*core.VCCoreset, cfg.K)
-	for i, s := range sums {
-		coresets[i] = s.VC
-		st.CoresetEdges = append(st.CoresetEdges, len(s.VC.Residual))
-		st.CoresetFixed = append(st.CoresetFixed, len(s.VC.Fixed))
-		st.CompositionEdges += len(s.VC.Residual)
-	}
-	cover := core.ComposeVC(st.N, coresets)
-	st.Duration = time.Since(start)
-	return cover, st, nil
+	return sol.Cover, st, nil
 }
 
 // Shard runs only the source+sharder stages and returns the per-machine edge
@@ -249,7 +238,7 @@ func VertexCoverContext(ctx context.Context, src EdgeSource, cfg Config) ([]grap
 // parity tests compare it against the partition.ByAssignment oracle, and
 // alternative backends can use it to feed machines that live elsewhere.
 func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
-	sums, st, err := run(context.Background(), src, cfg, func(machine, nHint int) builder {
+	sums, st, err := run(context.Background(), src, cfg, func(machine, nHint int) task.Builder {
 		return &collectBuilder{}
 	})
 	if err != nil {
@@ -262,15 +251,22 @@ func Shard(src EdgeSource, cfg Config) ([][]graph.Edge, *Stats, error) {
 	return parts, st, nil
 }
 
+// machineResult pairs a machine's summary with its index for the results
+// channel; Summary itself is runtime-agnostic and carries no machine index.
+type machineResult struct {
+	machine int
+	s       Summary
+}
+
 // run drives the pipeline: the caller's goroutine reads the source and
 // shards, k goroutines consume and build, and the final vertex count is
 // published to the machines only after the stream is drained (the
 // close(nReady) edge is the happens-before that makes this race-free).
 // Cancellation is cooperative at batch granularity: ctx is checked once per
 // source batch and on every (possibly blocking) channel send; an in-progress
-// per-machine finish computation is never interrupted, but canceled runs
-// skip finish entirely.
-func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint int) builder) ([]Summary, *Stats, error) {
+// per-machine Finish computation is never interrupted, but canceled runs
+// skip Finish entirely.
+func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint int) task.Builder) ([]Summary, *Stats, error) {
 	if src == nil {
 		return nil, nil, errors.New("stream: nil source")
 	}
@@ -289,7 +285,7 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 		nFinal  int
 		nReady  = make(chan struct{})
 		abort   = make(chan struct{})
-		results = make(chan Summary, k)
+		results = make(chan machineResult, k)
 		wg      sync.WaitGroup
 	)
 	chans := make([]chan []graph.Edge, k)
@@ -303,7 +299,7 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 			for batch := range chans[machine] {
 				received += len(batch)
 				for _, e := range batch {
-					b.add(e)
+					b.Add(e)
 				}
 			}
 			select {
@@ -313,10 +309,9 @@ func run(ctx context.Context, src EdgeSource, cfg Config, mk func(machine, nHint
 			case <-ctx.Done():
 				return
 			}
-			s := b.finish(nFinal)
-			s.machine = machine
+			s := b.Finish(nFinal)
 			s.Edges = received
-			results <- s
+			results <- machineResult{machine: machine, s: s}
 		}(i)
 	}
 
@@ -413,14 +408,14 @@ shard:
 		StoredEdges: make([]int, k),
 		Live:        make([]int, k),
 	}
-	for s := range results {
-		sums[s.machine] = s
-		st.PartEdges[s.machine] = s.Edges
-		st.StoredEdges[s.machine] = s.Stored
-		st.Live[s.machine] = s.Live
-		st.TotalCommBytes += s.Bytes
-		if s.Bytes > st.MaxMachineBytes {
-			st.MaxMachineBytes = s.Bytes
+	for r := range results {
+		sums[r.machine] = r.s
+		st.PartEdges[r.machine] = r.s.Edges
+		st.StoredEdges[r.machine] = r.s.Stored
+		st.Live[r.machine] = r.s.Live
+		st.TotalCommBytes += r.s.Bytes
+		if r.s.Bytes > st.MaxMachineBytes {
+			st.MaxMachineBytes = r.s.Bytes
 		}
 	}
 	st.Duration = time.Since(start)

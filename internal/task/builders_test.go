@@ -1,0 +1,173 @@
+package task
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/edcs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func testGraph(t *testing.T, n int, deg float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g := gen.GNP(n, deg/float64(n), rng.New(seed))
+	if g.M() == 0 {
+		t.Fatal("empty test graph")
+	}
+	return g
+}
+
+// The incremental matching builder must emit exactly the batch coreset for
+// the same partition — the deep parity the stream and cluster runtimes'
+// seed-parity guarantee rests on. (Moved here from internal/stream when the
+// builders moved into the registry package.)
+func TestMatchingBuilderDeepParity(t *testing.T) {
+	g := testGraph(t, 600, 8, 3)
+	parts := partition.HashK(g.Edges, 4, 7)
+	for i, part := range parts {
+		b := newMatchingBuilder()
+		for _, e := range part {
+			b.Add(e)
+		}
+		s := b.Finish(g.N)
+		want := core.MatchingCoreset(g.N, part)
+		if !reflect.DeepEqual(s.Coreset, want) {
+			t.Fatalf("machine %d: builder coreset diverges from batch", i)
+		}
+		if s.Stored != len(part) {
+			t.Fatalf("machine %d: stored %d, want %d", i, s.Stored, len(part))
+		}
+		if s.Bytes != core.CoresetSizeBytes(want) {
+			t.Fatalf("machine %d: bytes %d, want %d", i, s.Bytes, core.CoresetSizeBytes(want))
+		}
+	}
+}
+
+// Online level-1 peeling must be invisible in the output: same VCCoreset,
+// field for field, as the batch peel over the stored partition. Also pins
+// the threshold internals the stream package used to assert directly.
+func TestVCBuilderDeepParity(t *testing.T) {
+	g := testGraph(t, 800, 12, 5)
+	k := 4
+	parts := partition.HashK(g.Edges, k, 9)
+	for i, part := range parts {
+		b := newVCBuilder(k, g.N)
+		if want := int(math.Ceil(float64(g.N) / (float64(k) * 4))); b.threshold != want {
+			t.Fatalf("machine %d: threshold %d, want %d", i, b.threshold, want)
+		}
+		for _, e := range part {
+			b.Add(e)
+		}
+		got := b.Finish(g.N).VC
+		want := core.ComputeVCCoreset(g.N, k, part)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("machine %d: online-peel coreset diverges from batch", i)
+		}
+	}
+}
+
+// Without a vertex-count hint the vc builder must disable online peeling and
+// still converge to the batch answer at Finish.
+func TestVCBuilderNoHintFallsBack(t *testing.T) {
+	g := testGraph(t, 500, 10, 11)
+	k := 4
+	parts := partition.HashK(g.Edges, k, 13)
+	for i, part := range parts {
+		b := newVCBuilder(k, 0)
+		if b.threshold != 0 {
+			t.Fatalf("machine %d: threshold %d without nHint", i, b.threshold)
+		}
+		for _, e := range part {
+			b.Add(e)
+		}
+		got := b.Finish(g.N).VC
+		want := core.ComputeVCCoreset(g.N, k, part)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("machine %d: no-hint coreset diverges from batch", i)
+		}
+	}
+}
+
+// The EDCS builder is a pure function of arrival order; replaying the same
+// partition twice must produce identical summaries and telemetry.
+func TestEDCSBuilderDeterministic(t *testing.T) {
+	g := testGraph(t, 400, 10, 7)
+	part := partition.HashK(g.Edges, 2, 3)[0]
+	p := edcs.ParamsForBeta(8)
+	run := func() (Summary, MachineTelem) {
+		b := newEDCSBuilder(g.N, p)
+		for _, e := range part {
+			b.Add(e)
+		}
+		return b.Finish(g.N), b.Telem()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if !reflect.DeepEqual(s1, s2) || t1 != t2 {
+		t.Fatal("EDCS builder not deterministic over replayed arrivals")
+	}
+	if len(s1.Coreset) == 0 {
+		t.Fatal("EDCS builder produced an empty coreset")
+	}
+}
+
+// Every task's summary codec must round-trip a real builder summary exactly
+// — including the nil-versus-empty slice shapes seed parity depends on.
+func TestSummaryCodecRoundTripAllTasks(t *testing.T) {
+	g := testGraph(t, 300, 8, 17)
+	part := partition.HashK(g.Edges, 2, 5)[0]
+	for _, name := range Names() {
+		d := MustGet(name)
+		p := Params{}
+		if d.UsesBeta {
+			p.EDCS = edcs.ParamsForBeta(8)
+		}
+		b := d.NewBuilder(2, g.N, p)
+		for _, e := range part {
+			b.Add(e)
+		}
+		s := b.Finish(g.N)
+		s.Edges = len(part) // the runtimes stamp this before encoding
+
+		buf := AppendSummary(nil, d, s)
+		got, err := DecodeSummary(d, buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("%s: round trip diverged:\n got %+v\nwant %+v", name, got, s)
+		}
+
+		// Trailing garbage must be an error, never silently ignored.
+		if _, err := DecodeSummary(d, append(buf, 0xff)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", name)
+		}
+	}
+}
+
+// An empty machine (no edges routed to it) must also round-trip exactly: the
+// zero-count encodings pin the nil-versus-empty conventions.
+func TestSummaryCodecRoundTripEmpty(t *testing.T) {
+	for _, name := range Names() {
+		d := MustGet(name)
+		p := Params{}
+		if d.UsesBeta {
+			p.EDCS = edcs.ParamsForBeta(8)
+		}
+		b := d.NewBuilder(2, 50, p)
+		s := b.Finish(50)
+		buf := AppendSummary(nil, d, s)
+		got, err := DecodeSummary(d, buf)
+		if err != nil {
+			t.Fatalf("%s: decode empty: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("%s: empty round trip diverged:\n got %+v\nwant %+v", name, got, s)
+		}
+	}
+}
