@@ -14,6 +14,8 @@
 //	coreset -task vc -k 8 -stream -in graph.txt       (streaming runtime)
 //	coreset -task vc -cluster host:p1,host:p2 -in g   (cluster runtime)
 //	coreset -task vc -cluster local -k 4 -in g        (self-spawned workers)
+//	coreset ingest -in web.txt -out data/web          (store a dataset)
+//	coreset -task matching -k 8 -dataset data/web     (run from the store)
 //
 // Tasks: matching and vc are the paper's Theorem 1/2 coresets; edcs is the
 // edge-degree constrained subgraph coreset of "Coresets Meet EDCS"
@@ -69,6 +71,16 @@
 //
 // The input format is one "u v" edge per line, optionally preceded by a
 // header "p <n> <m>"; lines starting with '#' or '%' are comments.
+//
+// The ingest subcommand converts an edge list (or a generator draw) into an
+// on-disk dataset (internal/dataset): segment files of varint-delta encoded
+// edge batches under a content-hashed manifest. Ingestion uses the lenient
+// SNAP-style parser — tabs, CRLF, comments, self-loops and duplicate edges
+// are tolerated, with the drops recorded in the manifest. A stored dataset
+// replaces -in/-gen via -dataset DIR in every mode: edges stream off disk
+// segment by segment, so the graph is never materialized, and the source is
+// restartable, which cluster-mode round replay requires. The same directory
+// layout is what cmd/coresetd serves from its -datasets store.
 package main
 
 import (
@@ -86,6 +98,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/dataset"
 	"repro/internal/edcs"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -105,6 +118,9 @@ func main() {
 // run is the testable entry point: it parses args, executes, and writes all
 // output to the given writers.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "ingest" {
+		return runIngest(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("coreset", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -116,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		genName   = fs.String("gen", "", "synthetic input: gnp | powerlaw | star")
 		n         = fs.Int("n", 10000, "vertices for -gen")
 		deg       = fs.Float64("deg", 8, "average degree for -gen")
+		dsDir     = fs.String("dataset", "", "input dataset directory (coreset ingest); edges stream off disk")
 		seed      = fs.Uint64("seed", 1, "root seed")
 		workers   = fs.Int("workers", 0, "max goroutines in batch mode (0 = GOMAXPROCS)")
 		streaming = fs.Bool("stream", false, "use the streaming sharded runtime (never materializes the graph)")
@@ -156,6 +173,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "coreset: unknown task %q (known tasks: %s)\n", *taskName, strings.Join(task.Names(), ", "))
 		return 2
 	}
+	if *dsDir != "" && (*in != "" || *genName != "") {
+		fmt.Fprintln(stderr, "coreset: -dataset replaces -in/-gen; set only one input")
+		return 2
+	}
 	if *clusterTo == "" && *retries >= 0 {
 		fmt.Fprintln(stderr, "coreset: -max-retries requires -cluster (replay only exists in the cluster runtime)")
 		return 2
@@ -178,15 +199,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *streaming:
 		mode = "stream"
 	}
+	input := inputSpec{in: *in, genName: *genName, dataset: *dsDir, n: *n, deg: *deg, seed: *seed}
 	endRun := tracer.Span("run", "task", *taskName, "mode", mode, "k", *k, "seed", *seed)
 	var code int
 	switch mode {
 	case "cluster":
-		code = runCluster(desc, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *retries, *clusterTo, *traceOut, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runCluster(desc, input, *k, *batch, *beta, *rounds, *retries, *clusterTo, *traceOut, *quiet, *jsonOut, tracer, stdout, stderr)
 	case "stream":
-		code = runStream(desc, *in, *genName, *n, *deg, *seed, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runStream(desc, input, *k, *batch, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
 	default:
-		code = runBatch(desc, *in, *genName, *n, *deg, *seed, *k, *workers, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
+		code = runBatch(desc, input, *k, *workers, *beta, *rounds, *quiet, *jsonOut, tracer, stdout, stderr)
 	}
 	endRun("code", code)
 	return code
@@ -240,8 +262,9 @@ func emitReport(stdout io.Writer, rep *graph.RunReport) int {
 	return 0
 }
 
-func runBatch(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, workers, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
-	g, err := loadGraph(in, genName, n, deg, seed)
+func runBatch(d *task.Descriptor, input inputSpec, k, workers, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+	seed := input.seed
+	g, err := loadGraph(input)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
 		return 1
@@ -307,8 +330,9 @@ func runBatch(d *task.Descriptor, in, genName string, n int, deg float64, seed u
 	return 0
 }
 
-func runStream(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
-	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+func runStream(d *task.Descriptor, input inputSpec, k, batch, beta, rounds int, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+	seed := input.seed
+	src, closeSrc, err := openSource(input)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
 		return 1
@@ -410,7 +434,8 @@ func resolveCluster(spec string, k int, stderr io.Writer) (addrs []string, clean
 	return lw.Addrs(), func() { _ = lw.Close() }, nil
 }
 
-func runCluster(d *task.Descriptor, in, genName string, n int, deg float64, seed uint64, k, batch, beta, rounds, retries int, spec, traceOut string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+func runCluster(d *task.Descriptor, input inputSpec, k, batch, beta, rounds, retries int, spec, traceOut string, quiet, jsonOut bool, tracer *obs.Tracer, stdout, stderr io.Writer) int {
+	seed := input.seed
 	addrs, cleanup, err := resolveCluster(spec, k, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
@@ -419,7 +444,7 @@ func runCluster(d *task.Descriptor, in, genName string, n int, deg float64, seed
 	if cleanup != nil {
 		defer cleanup()
 	}
-	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+	src, closeSrc, err := openSource(input)
 	if err != nil {
 		fmt.Fprintln(stderr, "coreset:", err)
 		return 1
@@ -519,11 +544,32 @@ func printStreamStats(stdout io.Writer, st *stream.Stats) {
 		st.EdgesPerSec(), float64(st.Duration.Microseconds())/1000)
 }
 
+// inputSpec bundles the CLI flags that name an input graph: an edge-list
+// file, a generator draw, or a stored dataset directory. One dispatch
+// (openSource) serves every runtime, so the modes can never drift apart on
+// what a given set of input flags means.
+type inputSpec struct {
+	in      string // edge-list file, '-' for stdin
+	genName string // gnp | star | powerlaw
+	dataset string // dataset directory (coreset ingest)
+	n       int
+	deg     float64
+	seed    uint64
+}
+
 // openSource builds a streaming edge source from the CLI input flags. The
 // returned close function is non-nil when a file must be closed after the run.
-func openSource(in, genName string, n int, deg float64, seed uint64) (stream.EdgeSource, func() error, error) {
-	if genName != "" {
-		switch genName {
+func openSource(sp inputSpec) (stream.EdgeSource, func() error, error) {
+	if sp.dataset != "" {
+		d, err := dataset.Open(sp.dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		return stream.NewDatasetSource(d), d.Close, nil
+	}
+	if sp.genName != "" {
+		n, deg, seed := sp.n, sp.deg, sp.seed
+		switch sp.genName {
 		case "gnp":
 			return stream.NewIterSource(n, func() gen.EdgeIter { return gen.GNPIter(n, deg/float64(n), rng.New(seed)) }), nil, nil
 		case "star":
@@ -531,16 +577,16 @@ func openSource(in, genName string, n int, deg float64, seed uint64) (stream.Edg
 		case "powerlaw":
 			return stream.NewIterSource(n, func() gen.EdgeIter { return gen.PowerlawIter(n, 2.0, n/16+1, rng.New(seed)) }), nil, nil
 		default:
-			return nil, nil, fmt.Errorf("unknown generator %q", genName)
+			return nil, nil, fmt.Errorf("unknown generator %q", sp.genName)
 		}
 	}
-	switch in {
+	switch sp.in {
 	case "":
-		return nil, nil, fmt.Errorf("need -in FILE or -gen NAME")
+		return nil, nil, fmt.Errorf("need -in FILE, -gen NAME or -dataset DIR")
 	case "-":
 		return stream.NewReaderSource(os.Stdin), nil, nil
 	default:
-		f, err := os.Open(in)
+		f, err := os.Open(sp.in)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -548,11 +594,107 @@ func openSource(in, genName string, n int, deg float64, seed uint64) (stream.Edg
 	}
 }
 
+// runIngest implements the ingest subcommand: store an edge list (or a
+// generator draw) as an on-disk dataset that -dataset and coresetd -datasets
+// can stream without re-parsing.
+func runIngest(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coreset ingest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "input edge-list file ('-' for stdin); SNAP-style messiness tolerated")
+		genName  = fs.String("gen", "", "synthetic input: gnp | powerlaw | star")
+		n        = fs.Int("n", 10000, "vertices for -gen")
+		deg      = fs.Float64("deg", 8, "average degree for -gen")
+		seed     = fs.Uint64("seed", 1, "generator seed for -gen")
+		out      = fs.String("out", "", "dataset directory to create (required)")
+		segEdges = fs.Int("seg-edges", 0, "edges per segment block (0 = default)")
+		quiet    = fs.Bool("q", false, "print only the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "coreset ingest: need -out DIR")
+		return 2
+	}
+	if (*in == "") == (*genName == "") {
+		fmt.Fprintln(stderr, "coreset ingest: need exactly one of -in FILE and -gen NAME")
+		return 2
+	}
+
+	opts := dataset.IngestOptions{SegmentEdges: *segEdges}
+	var (
+		man *dataset.Manifest
+		err error
+	)
+	switch {
+	case *genName != "":
+		// Generator draws are trusted (no self-loops, no duplicates) and must
+		// keep their draw order, so they go through the Builder directly: a
+		// dataset-backed run composes the exact coresets the -gen run would.
+		opts.Source = fmt.Sprintf("gen:%s n=%d deg=%g seed=%d", *genName, *n, *deg, *seed)
+		man, err = ingestSource(inputSpec{genName: *genName, n: *n, deg: *deg, seed: *seed}, *out, opts)
+	case *in == "-":
+		opts.Source = "stdin"
+		man, err = dataset.Ingest(*out, os.Stdin, opts)
+	default:
+		man, err = dataset.IngestFile(*out, *in, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "coreset ingest:", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "source: %s\n", man.Source)
+		fmt.Fprintf(stdout, "layout: %d segments, %d bytes on disk\n", len(man.Segments), man.Bytes)
+		fmt.Fprintf(stdout, "hash: %s\n", man.Hash)
+		if man.SelfLoops > 0 || man.Duplicates > 0 {
+			fmt.Fprintf(stdout, "dropped: %d self-loops, %d duplicate edges\n", man.SelfLoops, man.Duplicates)
+		}
+	}
+	fmt.Fprintf(stdout, "ingested: n=%d m=%d into %s\n", man.N, man.M, *out)
+	return 0
+}
+
+// ingestSource drains a streaming edge source into a dataset build.
+func ingestSource(sp inputSpec, dir string, opts dataset.IngestOptions) (*dataset.Manifest, error) {
+	src, closeSrc, err := openSource(sp)
+	if err != nil {
+		return nil, err
+	}
+	if closeSrc != nil {
+		defer closeSrc()
+	}
+	b, err := dataset.NewBuilder(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]graph.Edge, 4096)
+	for {
+		c, err := src.Next(buf)
+		if addErr := b.Add(buf[:c]...); addErr != nil {
+			b.Abort()
+			return nil, addErr
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Abort()
+			return nil, err
+		}
+	}
+	return b.Finish(src.NumVertices(), opts.Source, 0, 0)
+}
+
 // loadGraph materializes the same input openSource streams: one dispatch,
 // two consumption modes, so batch and -stream can never drift apart on what
 // a given set of input flags means.
-func loadGraph(in, genName string, n int, deg float64, seed uint64) (*graph.Graph, error) {
-	src, closeSrc, err := openSource(in, genName, n, deg, seed)
+func loadGraph(sp inputSpec) (*graph.Graph, error) {
+	src, closeSrc, err := openSource(sp)
 	if err != nil {
 		return nil, err
 	}

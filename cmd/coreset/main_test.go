@@ -14,7 +14,7 @@ import (
 
 func TestLoadGraphGenerators(t *testing.T) {
 	for _, name := range []string{"gnp", "powerlaw", "star"} {
-		g, err := loadGraph("", name, 500, 6, 1)
+		g, err := loadGraph(inputSpec{genName: name, n: 500, deg: 6, seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -28,13 +28,13 @@ func TestLoadGraphGenerators(t *testing.T) {
 }
 
 func TestLoadGraphUnknownGenerator(t *testing.T) {
-	if _, err := loadGraph("", "nope", 10, 2, 1); err == nil {
+	if _, err := loadGraph(inputSpec{genName: "nope", n: 10, deg: 2, seed: 1}); err == nil {
 		t.Fatal("unknown generator accepted")
 	}
 }
 
 func TestLoadGraphMissingArgs(t *testing.T) {
-	if _, err := loadGraph("", "", 10, 2, 1); err == nil {
+	if _, err := loadGraph(inputSpec{n: 10, deg: 2, seed: 1}); err == nil {
 		t.Fatal("no input source accepted")
 	}
 }
@@ -45,7 +45,7 @@ func TestLoadGraphFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("p 4 2\n0 1\n2 3\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadGraph(path, "", 0, 0, 1)
+	g, err := loadGraph(inputSpec{in: path, n: 0, deg: 0, seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestLoadGraphFromFile(t *testing.T) {
 }
 
 func TestLoadGraphFileMissing(t *testing.T) {
-	if _, err := loadGraph("/does/not/exist", "", 0, 0, 1); err == nil {
+	if _, err := loadGraph(inputSpec{in: "/does/not/exist", n: 0, deg: 0, seed: 1}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -166,11 +166,11 @@ func TestCLIUnknownTask(t *testing.T) {
 }
 
 func TestLoadGraphDeterministicSeed(t *testing.T) {
-	a, err := loadGraph("", "gnp", 300, 8, 42)
+	a, err := loadGraph(inputSpec{genName: "gnp", n: 300, deg: 8, seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := loadGraph("", "gnp", 300, 8, 42)
+	b, err := loadGraph(inputSpec{genName: "gnp", n: 300, deg: 8, seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

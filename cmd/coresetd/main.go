@@ -6,7 +6,14 @@
 // Usage:
 //
 //	coresetd -addr :8440
+//	coresetd -addr :8440 -datasets /var/lib/coreset/datasets
 //	coresetd -addr :8440 -cluster host:9601,host:9602
+//
+// With -datasets DIR the daemon serves a dataset store built by
+// `coreset ingest`: graphs registered as {"dataset": "name"} keep their edges
+// on disk, jobs stream them segment by segment, and results are cached by the
+// dataset's content hash — a repeated job on a stored graph never re-parses
+// or even re-reads it.
 //
 // With -cluster the daemon can also dispatch jobs to a fleet of resident
 // cmd/coresetworker processes: a job with mode "cluster" (k must equal the
@@ -15,9 +22,11 @@
 //
 // API (JSON unless noted):
 //
-//	POST   /v1/graphs     register a graph: JSON {"gen": {...}} or
-//	                      {"edgeList": "..."}; any other content type is raw
-//	                      edge-list text (optional ?id=NAME)
+//	POST   /v1/graphs     register a graph: JSON {"gen": {...}},
+//	                      {"edgeList": "..."} or {"dataset": "name"} (a stored
+//	                      dataset from the -datasets store, streamed off disk);
+//	                      any other content type is raw edge-list text
+//	                      (optional ?id=NAME)
 //	GET    /v1/graphs/{id}  describe a registered graph
 //	DELETE /v1/graphs/{id}  drop an idle graph
 //	POST   /v1/jobs       submit a job: {"graph","task","k","seed","mode"}
@@ -73,6 +82,7 @@ func run(args []string, stderr *os.File) int {
 		clusterW  = fs.String("cluster", "", "comma-separated coresetworker addresses; enables jobs with mode 'cluster'")
 		spares    = fs.String("spares", "", "comma-separated standby coresetworker addresses round replay may substitute for failed fleet members")
 		retries   = fs.Int("max-retries", cluster.DefaultMaxRetries, "per-machine, per-round replay budget after a cluster worker failure (0 = fail fast)")
+		datasets  = fs.String("datasets", "", "dataset store directory (coreset ingest layout); enables {\"dataset\": name} registrations")
 		admin     = fs.String("admin", "", "optional admin listener address serving /metrics, /healthz and /debug/pprof/")
 		trace     = fs.Bool("trace", false, "log job and round spans to stderr")
 	)
@@ -125,6 +135,7 @@ func run(args []string, stderr *os.File) int {
 		ClusterWorkers:    fleet,
 		ClusterSpares:     spareFleet,
 		ClusterMaxRetries: maxRetries,
+		DatasetDir:        *datasets,
 		Tracer:            tracer,
 	})
 	httpSrv := &http.Server{
@@ -140,6 +151,9 @@ func run(args []string, stderr *os.File) int {
 	}
 	if len(fleet) > 0 {
 		logger.Printf("cluster fleet: %d workers (%s)", len(fleet), *clusterW)
+	}
+	if *datasets != "" {
+		logger.Printf("dataset store: %s", *datasets)
 	}
 	logger.Printf("serving on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
 

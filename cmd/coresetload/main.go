@@ -26,10 +26,20 @@
 // byte counters) and each coresetworker's -admin listener (per-worker frame,
 // byte and phase counters), against either target.
 //
+// With -dataset NAME the service workload runs against a stored dataset from
+// the daemon's -datasets store instead of a generator spec — jobs stream the
+// graph off the daemon's disk, and repeats are served from the hash-keyed
+// result cache. Adding -mix registers both the dataset and the -gen spec and
+// alternates jobs between them, reporting per-kind latency percentiles next
+// to the combined line, so disk-backed and generator-backed job costs can be
+// compared in one run.
+//
 // Usage:
 //
 //	coresetload -addr http://127.0.0.1:8440 -gen gnp -n 20000 -deg 8 \
 //	            -task matching -k 4 -jobs 32 -c 4 -seeds 4
+//	coresetload -addr http://127.0.0.1:8440 -dataset web -mix -gen gnp \
+//	            -n 20000 -deg 8 -task matching -jobs 32 -c 4
 //	coresetload -target cluster -cluster 127.0.0.1:9601,127.0.0.1:9602 \
 //	            -gen gnp -n 20000 -deg 8 -task matching -jobs 16 -c 2
 package main
@@ -71,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clusterW = fs.String("cluster", "", "comma-separated coresetworker addresses (-target cluster)")
 		retries  = fs.Int("max-retries", -1, "per-machine, per-round replay budget after a worker failure (-target cluster; -1 = default, 0 = fail fast)")
 		genName  = fs.String("gen", "gnp", "graph generator: gnp | star | powerlaw")
+		dsName   = fs.String("dataset", "", "dataset name in the daemon's store (coresetd -datasets); replaces -gen for -target service")
+		mix      = fs.Bool("mix", false, "with -dataset: alternate dataset-backed and gen-backed jobs and report per-kind latency percentiles")
 		n        = fs.Int("n", 20000, "vertices")
 		deg      = fs.Float64("deg", 8, "average degree (gnp)")
 		gseed    = fs.Uint64("graphseed", 1, "generator seed")
@@ -109,7 +121,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coresetload:", err)
 		return 2
 	}
+	if *mix && *dsName == "" {
+		fmt.Fprintln(stderr, "coresetload: -mix requires -dataset (it alternates dataset-backed and gen-backed jobs)")
+		return 2
+	}
 	if *target == "cluster" {
+		if *dsName != "" {
+			fmt.Fprintln(stderr, "coresetload: -dataset requires -target service (the store lives with coresetd)")
+			return 2
+		}
 		// Cluster cold-start (dials, worker first-touch) lands on the first
 		// wave of jobs; exclude one wave per client unless told otherwise.
 		w := *warmup
@@ -132,13 +152,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	lg := &loadgen{base: *addr, client: &http.Client{Timeout: 2 * time.Minute}}
 
-	var info service.GraphInfo
-	req := service.CreateGraphRequest{Gen: &service.GenSpec{Name: *genName, N: *n, Deg: *deg, Seed: *gseed}}
-	if err := lg.postJSON("/v1/graphs", req, &info); err != nil {
-		fmt.Fprintln(stderr, "coresetload: registering graph:", err)
-		return 1
+	// The workload's graphs, one per kind. Plain runs use a single kind (the
+	// generator spec, or the stored dataset with -dataset); -mix registers
+	// both and alternates jobs across them so dataset-backed and gen-backed
+	// latency distributions print side by side.
+	var graphIDs, kinds []string
+	if *dsName != "" {
+		var info service.GraphInfo
+		if err := lg.postJSON("/v1/graphs", service.CreateGraphRequest{Dataset: *dsName}, &info); err != nil {
+			fmt.Fprintln(stderr, "coresetload: registering dataset:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "graph %s: dataset %s n=%d m=%d\n", info.ID, *dsName, info.N, info.M)
+		graphIDs, kinds = append(graphIDs, info.ID), append(kinds, "dataset")
 	}
-	fmt.Fprintf(stdout, "graph %s: %s n=%d\n", info.ID, *genName, info.N)
+	if *dsName == "" || *mix {
+		var info service.GraphInfo
+		req := service.CreateGraphRequest{Gen: &service.GenSpec{Name: *genName, N: *n, Deg: *deg, Seed: *gseed}}
+		if err := lg.postJSON("/v1/graphs", req, &info); err != nil {
+			fmt.Fprintln(stderr, "coresetload: registering graph:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "graph %s: %s n=%d\n", info.ID, *genName, info.N)
+		graphIDs, kinds = append(graphIDs, info.ID), append(kinds, "gen")
+	}
 
 	before, err := scrapers.snapshot()
 	if err != nil {
@@ -149,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		perKind   = make(map[string][]time.Duration)
 		failures  int
 	)
 	start := time.Now()
@@ -165,8 +203,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				kindIdx := i % len(graphIDs)
 				jr := service.CreateJobRequest{
-					Graph: info.ID, Task: *taskName, K: *k,
+					Graph: graphIDs[kindIdx], Task: *taskName, K: *k,
 					Seed: uint64(i % *seeds), Mode: *mode,
 					Beta: *beta, Rounds: *rounds,
 				}
@@ -179,6 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "coresetload: job %d: %v\n", i, err)
 				} else {
 					latencies = append(latencies, d)
+					perKind[kinds[kindIdx]] = append(perKind[kinds[kindIdx]], d)
 				}
 				mu.Unlock()
 			}
@@ -197,6 +237,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "latency: p50 %s  p90 %s  p99 %s  max %s\n",
 		sum.P50.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
 		sum.P99.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
+	if len(kinds) > 1 {
+		// -mix: one percentile line per graph kind, over that kind's own
+		// samples (the shared warmup count applies to each series).
+		for _, kind := range kinds {
+			ks, ok := summarize(perKind[kind], *warmup)
+			if !ok {
+				fmt.Fprintf(stdout, "%-8s no successful jobs\n", kind+":")
+				continue
+			}
+			fmt.Fprintf(stdout, "%-8s %d jobs; latency p50 %s  p90 %s  p99 %s  max %s\n",
+				kind+":", len(perKind[kind]),
+				ks.P50.Round(time.Microsecond), ks.P90.Round(time.Microsecond),
+				ks.P99.Round(time.Microsecond), ks.Max.Round(time.Microsecond))
+		}
+	}
 
 	var st service.StatsView
 	if err := lg.getJSON("/v1/stats", &st); err != nil {

@@ -48,6 +48,30 @@
 // examples/streaming_pipeline demonstrates the pipeline, and experiment E19
 // compares their throughput and quality at fixed k.
 //
+// Feeding every runtime is a disk-backed data plane (internal/dataset):
+// real graphs are ingested once — `coreset ingest` runs the lenient
+// SNAP-style parser (tabs, CRLF, comments tolerated; self-loops and
+// duplicate edges dropped and recorded) — and stored as segment files of
+// varint-delta encoded edge batches under a JSON manifest carrying n, m,
+// per-segment offsets and a sha256 content hash:
+//
+//	edge list ─▶ coreset ingest ─▶ ┌ manifest.json (n, m, offsets, sha256) ┐
+//	generator ─▶                   └ edges.seg (varint-delta batches)      ┘
+//	                                    │ ReadSegment (positioned reads,
+//	                                    ▼  bounded resident budget)
+//	            stream.DatasetSource ─▶ batch │ stream │ cluster │ service
+//
+// The codec is the same fuzz-hardened edge-batch encoding the cluster wire
+// protocol ships, so bytes on disk and bytes on the wire never drift. A
+// DatasetSource is restartable by construction (segments are seekable),
+// which is exactly what cluster round replay requires; sources that are
+// not — a non-seekable reader — fail replay with a typed
+// stream.NotRestartableError naming the source kind instead of replaying
+// wrong data. The service layer registers datasets by name from a store
+// directory (coresetd -datasets) and keys cached results by the manifest's
+// content hash, so a repeated job on a stored graph is answered with zero
+// re-parse and zero re-read, regardless of the ID it was registered under.
+//
 // The cluster runtime (internal/cluster) makes the machines real: k worker
 // OS processes (cmd/coresetworker, or self-spawned by cmd/coreset -cluster
 // local) host the very same incremental builders behind a compact
@@ -148,7 +172,7 @@
 // many queries. Its architecture:
 //
 //	                   ┌──────────────────────── coresetd ────────────────────────┐
-//	POST /v1/graphs ──▶│ Registry: id → uploaded edges | generator spec           │
+//	POST /v1/graphs ──▶│ Registry: id → uploaded edges | gen spec | dataset ref   │
 //	                   │           (ref-counted, LRU-evicted)                     │
 //	                   │      │ Acquire/Release                                   │
 //	POST /v1/jobs ────▶│ Manager: bounded queue ─▶ worker pool ─▶ batch pipeline  │

@@ -262,7 +262,14 @@ func run(ctx context.Context, src stream.EdgeSource, cfg Config, tb byte, ep edc
 	var replayedMachines []int
 	if len(fails) > 0 {
 		if !replayable || !allRetryable(fails) || aborted {
-			return nil, nil, joinFailures(fails)
+			ferr := joinFailures(fails)
+			// Replay was asked for and every failure was replayable, but the
+			// source cannot rewind: name the source kind so the caller knows
+			// what to fix, rather than a generic worker failure.
+			if cfg.MaxRetries > 0 && !restartable && allRetryable(fails) && !aborted {
+				ferr = notRestartable(ferr, src)
+			}
+			return nil, nil, ferr
 		}
 		failed := make(map[int]*WorkerError, len(fails))
 		for _, we := range fails {

@@ -70,6 +70,17 @@ func joinFailures(fails []*WorkerError) error {
 	return errors.Join(errs...)
 }
 
+// notRestartable annotates a joined worker failure with a typed
+// *stream.NotRestartableError naming the concrete source kind. It is used on
+// fail-fast paths where replay was configured (MaxRetries > 0) and every
+// failure was retryable, yet the run could not replay because the source
+// cannot rewind — so the error says which input to fix instead of a generic
+// failure. The worker failure stays first, so errors.As finds the primary
+// *WorkerError exactly as before.
+func notRestartable(failErr error, src stream.EdgeSource) error {
+	return errors.Join(failErr, &stream.NotRestartableError{Source: fmt.Sprintf("%T", src)})
+}
+
 // allRetryable reports whether every recorded failure may be replayed.
 func allRetryable(fails []*WorkerError) bool {
 	for _, we := range fails {
@@ -121,7 +132,7 @@ type replayConn struct {
 func (r *replayer) replay(ctx context.Context, src stream.EdgeSource, byMachine []workerResult, failed map[int]*WorkerError) (retries int, replayed []int, err error) {
 	rs, ok := src.(stream.Restartable)
 	if !ok { // callers gate on this; defensive
-		return 0, nil, joinFailures(sortedFailures(failed))
+		return 0, nil, notRestartable(joinFailures(sortedFailures(failed)), src)
 	}
 	iot := r.cfg.ioTimeout()
 	dialer := &net.Dialer{Timeout: r.cfg.dialTimeout()}

@@ -265,7 +265,13 @@ func (s *EDCSSession) Round(ctx context.Context, src stream.EdgeSource, k int, s
 	var replayedMachines []int
 	if len(fails) > 0 {
 		if !replayable || !allRetryable(fails) || aborted {
-			return failSession(joinFailures(fails))
+			ferr := joinFailures(fails)
+			// As in run(): when only the source's inability to rewind blocked
+			// a replay, say so with the typed error naming the source kind.
+			if s.cfg.MaxRetries > 0 && !restartable && allRetryable(fails) && !aborted {
+				ferr = notRestartable(ferr, src)
+			}
+			return failSession(ferr)
 		}
 		failed := make(map[int]*WorkerError, len(fails))
 		for _, we := range fails {

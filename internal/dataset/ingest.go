@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// IngestOptions tune dataset construction.
+type IngestOptions struct {
+	// SegmentEdges is the target edges per segment (DefaultSegmentEdges when
+	// zero). Smaller segments lower the reader's resident-memory floor at the
+	// cost of more per-segment overhead.
+	SegmentEdges int
+	// Source is a provenance string recorded in the manifest (a file path,
+	// URL, or generator spec).
+	Source string
+}
+
+func (o IngestOptions) segmentEdges() int {
+	if o.SegmentEdges <= 0 {
+		return DefaultSegmentEdges
+	}
+	return o.SegmentEdges
+}
+
+// Builder writes a dataset incrementally: edges go straight through the
+// varint-delta encoder into the data file (tee'd through sha256), so building
+// a dataset never holds more than one segment of edges in memory. Finish
+// writes the manifest atomically (tmp+rename); a crashed build leaves no
+// manifest, so a half-written directory can never be Opened.
+type Builder struct {
+	dir      string
+	f        *os.File
+	w        *bufio.Writer
+	h        hash.Hash
+	segEdges int
+	pending  []graph.Edge
+	segments []Segment
+	off      int64
+	m        int
+	maxID    graph.ID
+	enc      []byte
+	done     bool
+}
+
+// NewBuilder starts a dataset build in dir, creating the directory if
+// needed. The data file is truncated immediately, so build into a fresh
+// directory when an existing dataset must survive a failed build; the
+// manifest, by contrast, only appears once Finish succeeds.
+func NewBuilder(dir string, opts IngestOptions) (*Builder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", dir, err)
+	}
+	f, err := os.Create(filepath.Join(dir, DataName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", dir, err)
+	}
+	return &Builder{
+		dir:      dir,
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<20),
+		h:        sha256.New(),
+		segEdges: opts.segmentEdges(),
+		maxID:    -1,
+	}, nil
+}
+
+// Add appends edges to the dataset in order. Semantic checks (id ranges,
+// self-loops, duplicates) belong to the caller — Ingest runs them via the
+// lenient parser, generators are trusted; Finish still cross-checks endpoints
+// against the declared vertex count.
+func (b *Builder) Add(edges ...graph.Edge) error {
+	if b.done {
+		return fmt.Errorf("dataset: build %s: Add after Finish", b.dir)
+	}
+	for _, e := range edges {
+		b.pending = append(b.pending, e)
+		if e.U > b.maxID {
+			b.maxID = e.U
+		}
+		if e.V > b.maxID {
+			b.maxID = e.V
+		}
+		if len(b.pending) >= b.segEdges {
+			if err := b.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flush encodes the pending edges as one segment block.
+func (b *Builder) flush() error {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	b.enc = graph.AppendEdgeBatch(b.enc[:0], b.pending)
+	if _, err := b.w.Write(b.enc); err != nil {
+		return fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	b.h.Write(b.enc)
+	b.segments = append(b.segments, Segment{Offset: b.off, Length: len(b.enc), Edges: len(b.pending)})
+	b.off += int64(len(b.enc))
+	b.m += len(b.pending)
+	b.pending = b.pending[:0]
+	return nil
+}
+
+// Abort discards a build in progress, closing and best-effort removing the
+// partial data file. Safe to call after Finish (no-op).
+func (b *Builder) Abort() {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.f.Close()
+	os.Remove(filepath.Join(b.dir, DataName))
+}
+
+// Finish flushes the final segment, syncs the data file, and atomically
+// writes the manifest. n is the dataset's vertex count; when n < 0 it is
+// inferred as 1 + the largest endpoint seen. selfLoops/duplicates record what
+// ingestion dropped (zero for trusted inputs).
+func (b *Builder) Finish(n int, source string, selfLoops, duplicates int) (*Manifest, error) {
+	if b.done {
+		return nil, fmt.Errorf("dataset: build %s: Finish twice", b.dir)
+	}
+	b.done = true
+	if err := b.flush(); err != nil {
+		b.f.Close()
+		return nil, err
+	}
+	if err := b.w.Flush(); err != nil {
+		b.f.Close()
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	if err := b.f.Sync(); err != nil {
+		b.f.Close()
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	if err := b.f.Close(); err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	if n < 0 {
+		n = int(b.maxID) + 1
+	} else if b.maxID >= graph.ID(n) {
+		return nil, fmt.Errorf("dataset: build %s: endpoint %d out of declared range [0,%d)", b.dir, b.maxID, n)
+	}
+	man := &Manifest{
+		Format:     FormatVersion,
+		N:          n,
+		M:          b.m,
+		Bytes:      b.off,
+		Hash:       hex.EncodeToString(b.h.Sum(nil)),
+		Segments:   b.segments,
+		Source:     source,
+		SelfLoops:  selfLoops,
+		Duplicates: duplicates,
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	tmp := filepath.Join(b.dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, ManifestName)); err != nil {
+		return nil, fmt.Errorf("dataset: build %s: %w", b.dir, err)
+	}
+	return man, nil
+}
+
+// Ingest parses a SNAP-style edge list from r with the lenient parser
+// (tabs/CRLF/comments tolerated; self-loops and duplicates dropped and
+// recorded in the manifest) and stores it as a dataset in dir. The edge list
+// is never materialized: edges flow from the parser straight into segment
+// blocks, so ingestion memory is one segment plus the parser's dedup set.
+func Ingest(dir string, r io.Reader, opts IngestOptions) (*Manifest, error) {
+	b, err := NewBuilder(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := graph.NewLenientEdgeListParser(r)
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Abort()
+			return nil, fmt.Errorf("dataset: ingest into %s: %w", dir, err)
+		}
+		if err := b.Add(e); err != nil {
+			b.Abort()
+			return nil, err
+		}
+	}
+	return b.Finish(p.NumVertices(), opts.Source, p.SelfLoops(), p.Duplicates())
+}
+
+// IngestFile ingests the edge-list file at path, recording the path as the
+// manifest source (unless opts.Source overrides it).
+func IngestFile(dir, path string, opts IngestOptions) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: ingest: %w", err)
+	}
+	defer f.Close()
+	if opts.Source == "" {
+		opts.Source = path
+	}
+	return Ingest(dir, bufio.NewReaderSize(f, 1<<20), opts)
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"io"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -11,7 +12,9 @@ import (
 // must never panic, every accepted graph must validate, and the incremental
 // EdgeListParser must accept exactly the inputs (and produce exactly the
 // edges) that the batch ReadEdgeList does — the parity the streaming runtime
-// relies on.
+// relies on. The lenient parser rides along under its own invariants: it
+// accepts everything the strict parser accepts, yields the strict edge list
+// with duplicates removed, and never yields a self-loop or a repeated edge.
 func FuzzReadEdgeList(f *testing.F) {
 	for _, seed := range []string{
 		"p 4 2\n0 1\n2 3\n",
@@ -27,8 +30,18 @@ func FuzzReadEdgeList(f *testing.F) {
 		"1 2\np 5 1\n",
 		"9999999999 1\n",
 		"p 3 1\n0\t1\n",
+		"0\t1\t1438300800\n", // extra column (timestamped SNAP dump)
+		"1 2\r\n2 3\r\n",     // CRLF line endings
+		"3 3\n1 2\n2 1\n",    // self-loop + reversed duplicate
 	} {
 		f.Add([]byte(seed))
+	}
+	// The checked-in SNAP-style fixture (tabs, CRLF, comments, self-loops,
+	// duplicates) seeds the corpus with the real-world shape ingestion sees.
+	if fixture, err := os.ReadFile("testdata/snap_sample.txt"); err == nil {
+		f.Add(fixture)
+	} else {
+		f.Fatalf("fixture: %v", err)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadEdgeList(bytes.NewReader(data))
@@ -61,6 +74,51 @@ func FuzzReadEdgeList(f *testing.F) {
 			}
 			if len(edges) != len(g.Edges) || (len(edges) > 0 && !reflect.DeepEqual(edges, g.Edges)) {
 				t.Fatalf("incremental edges %v != batch edges %v", edges, g.Edges)
+			}
+		}
+
+		// Lenient invariants: never yields a self-loop or repeat, and on any
+		// strict-accepted input it succeeds with the deduplicated edge list.
+		lp := NewLenientEdgeListParser(bytes.NewReader(data))
+		var lenientEdges []Edge
+		var lerr error
+		yielded := make(map[Edge]struct{})
+		for {
+			e, nerr := lp.Next()
+			if nerr == io.EOF {
+				break
+			}
+			if nerr != nil {
+				lerr = nerr
+				break
+			}
+			if e.U == e.V {
+				t.Fatalf("lenient parser yielded self-loop %v", e)
+			}
+			if _, dup := yielded[e]; dup {
+				t.Fatalf("lenient parser yielded duplicate %v", e)
+			}
+			yielded[e] = struct{}{}
+			lenientEdges = append(lenientEdges, e)
+		}
+		if err == nil {
+			if lerr != nil {
+				t.Fatalf("strict accepted but lenient failed: %v", lerr)
+			}
+			var dedup []Edge
+			seen := make(map[Edge]struct{}, len(g.Edges))
+			for _, e := range g.Edges {
+				if _, ok := seen[e]; ok {
+					continue
+				}
+				seen[e] = struct{}{}
+				dedup = append(dedup, e)
+			}
+			if !reflect.DeepEqual(lenientEdges, dedup) {
+				t.Fatalf("lenient edges %v != dedup(strict edges) %v", lenientEdges, dedup)
+			}
+			if lp.Duplicates() != len(g.Edges)-len(dedup) {
+				t.Fatalf("lenient Duplicates() = %d, want %d", lp.Duplicates(), len(g.Edges)-len(dedup))
 			}
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -13,11 +14,19 @@ import (
 //	p <n> <m>        (optional header; n inferred from edges if absent)
 //	u v              (one edge per line, 0-based vertex ids)
 //
-// The cmd/coreset tool reads and writes this format. Parsing is incremental:
-// EdgeListParser yields one edge at a time so the streaming runtime
-// (internal/stream) can shard a graph without ever materializing it, and
-// ReadEdgeList is a thin accumulator on top of the same parser, so batch and
-// streaming consumers accept exactly the same inputs.
+// Fields are separated by any run of spaces or tabs, and lines may end in
+// CRLF — both are common in published SNAP dumps. The cmd/coreset tool reads
+// and writes this format. Parsing is incremental: EdgeListParser yields one
+// edge at a time so the streaming runtime (internal/stream) can shard a graph
+// without ever materializing it, and ReadEdgeList is a thin accumulator on
+// top of the same parser, so batch and streaming consumers accept exactly the
+// same inputs.
+//
+// Real-world dumps are messier than the strict format: they carry self-loops,
+// repeated edges and extra columns (weights, timestamps). The lenient parser
+// (NewLenientEdgeListParser) absorbs those — dropped self-loops and
+// duplicates are surfaced as counts, extra columns are ignored — which is
+// what the dataset ingestion path (internal/dataset) runs.
 
 // WriteEdgeList writes g in the text format above, with a header line.
 func WriteEdgeList(w io.Writer, g *Graph) error {
@@ -52,14 +61,42 @@ type EdgeListParser struct {
 	pending  Edge
 	hasPend  bool
 	err      error // sticky: io.EOF after a clean end, else the parse error
+
+	// Lenient mode: messy-but-sane lines are dropped and counted instead of
+	// failing the parse. seen holds every canonical edge yielded so far, so
+	// duplicate suppression costs O(m) memory — acceptable for ingestion,
+	// which runs once per dataset, but not free; strict mode stays O(1).
+	lenient    bool
+	seen       map[Edge]struct{}
+	selfLoops  int
+	duplicates int
 }
 
-// NewEdgeListParser returns a parser over r. Errors on the first line (and
-// end-of-input) are reported by the first call to Next, not here.
+// NewEdgeListParser returns a strict parser over r: self-loops, duplicate
+// header lines and malformed edges all fail on the offending line. Errors on
+// the first line (and end-of-input) are reported by the first call to Next,
+// not here.
 func NewEdgeListParser(r io.Reader) *EdgeListParser {
+	return newParser(r, false)
+}
+
+// NewLenientEdgeListParser returns a parser tolerant of real-world SNAP
+// dumps: self-loops and repeated edges are dropped and counted (SelfLoops,
+// Duplicates) instead of failing, and extra columns after "u v" (weights,
+// timestamps) are ignored. Malformed ids and header violations still fail —
+// leniency absorbs messy data, not corrupt data. Duplicate suppression keeps
+// a set of every edge yielded, so this mode holds O(m) memory.
+func NewLenientEdgeListParser(r io.Reader) *EdgeListParser {
+	return newParser(r, true)
+}
+
+func newParser(r io.Reader, lenient bool) *EdgeListParser {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	p := &EdgeListParser{sc: sc, maxID: -1}
+	p := &EdgeListParser{sc: sc, maxID: -1, lenient: lenient}
+	if lenient {
+		p.seen = make(map[Edge]struct{})
+	}
 	// Read ahead so header information is available immediately.
 	e, err := p.scan()
 	if err != nil {
@@ -88,7 +125,9 @@ func (p *EdgeListParser) Next() (Edge, error) {
 	return e, nil
 }
 
-// scan advances to the next edge line.
+// scan advances to the next edge line. Lines are split on any run of spaces
+// or tabs (strings.Fields), so single-space, tab-separated and aligned
+// multi-space layouts all parse; TrimSpace strips CR from CRLF line endings.
 func (p *EdgeListParser) scan() (Edge, error) {
 	for p.sc.Scan() {
 		p.lineNo++
@@ -96,32 +135,55 @@ func (p *EdgeListParser) scan() (Edge, error) {
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
 		}
-		if strings.HasPrefix(line, "p ") {
+		fields := strings.Fields(line)
+		if fields[0] == "p" {
 			if p.header || p.count > 0 {
 				return Edge{}, fmt.Errorf("graph: line %d: unexpected extra header %q", p.lineNo, line)
 			}
-			if _, err := fmt.Sscanf(line, "p %d %d", &p.n, &p.declared); err != nil {
-				return Edge{}, fmt.Errorf("graph: line %d: bad header %q: %v", p.lineNo, line, err)
+			if len(fields) != 3 {
+				return Edge{}, fmt.Errorf("graph: line %d: bad header %q: want \"p <n> <m>\"", p.lineNo, line)
 			}
-			if p.n < 0 || p.declared < 0 {
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return Edge{}, fmt.Errorf("graph: line %d: bad header %q: non-numeric sizes", p.lineNo, line)
+			}
+			if n < 0 || m < 0 {
 				return Edge{}, fmt.Errorf("graph: line %d: negative sizes in header %q", p.lineNo, line)
 			}
-			p.header = true
+			p.n, p.declared, p.header = n, m, true
 			continue
 		}
-		var u, v int64
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
-			return Edge{}, fmt.Errorf("graph: line %d: bad edge %q: %v", p.lineNo, line, err)
+		// Strict mode demands exactly "u v"; lenient mode ignores extra
+		// columns (weighted or timestamped dumps).
+		if len(fields) != 2 && !(p.lenient && len(fields) > 2) {
+			return Edge{}, fmt.Errorf("graph: line %d: bad edge %q: want \"u v\"", p.lineNo, line)
 		}
-		if u < 0 || v < 0 || u > 1<<31-1 || v > 1<<31-1 {
+		u, err1 := strconv.ParseInt(fields[0], 10, 64)
+		v, err2 := strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return Edge{}, fmt.Errorf("graph: line %d: bad edge %q: non-numeric endpoint", p.lineNo, line)
+		}
+		if u < 0 || v < 0 || u > int64(MaxID) || v > int64(MaxID) {
 			return Edge{}, fmt.Errorf("graph: line %d: vertex id out of range in %q", p.lineNo, line)
 		}
 		if u == v {
+			if p.lenient {
+				p.selfLoops++
+				continue
+			}
 			return Edge{}, fmt.Errorf("graph: line %d: self-loop %q", p.lineNo, line)
 		}
 		e := Edge{ID(u), ID(v)}.Canon()
 		if p.header && int(e.V) >= p.n {
 			return Edge{}, fmt.Errorf("graph: line %d: edge %q out of declared range [0,%d)", p.lineNo, line, p.n)
+		}
+		if p.lenient {
+			if _, dup := p.seen[e]; dup {
+				p.duplicates++
+				continue
+			}
+			p.seen[e] = struct{}{}
 		}
 		if e.V > p.maxID {
 			p.maxID = e.V
@@ -132,7 +194,10 @@ func (p *EdgeListParser) scan() (Edge, error) {
 	if err := p.sc.Err(); err != nil {
 		return Edge{}, err
 	}
-	if p.header && p.count != p.declared {
+	// Strict mode holds the header to its word. Lenient mode does not: a
+	// dump whose header counts the raw lines disagrees with the kept-edge
+	// count as soon as a duplicate or self-loop was dropped.
+	if p.header && !p.lenient && p.count != p.declared {
 		return Edge{}, fmt.Errorf("graph: header declared %d edges, found %d", p.declared, p.count)
 	}
 	return Edge{}, io.EOF
@@ -161,6 +226,16 @@ func (p *EdgeListParser) NumVertices() int {
 
 // Count returns the number of edges yielded so far.
 func (p *EdgeListParser) Count() int { return p.count }
+
+// SelfLoops returns how many self-loop lines a lenient parser has dropped so
+// far (always 0 in strict mode, where the first self-loop is an error).
+func (p *EdgeListParser) SelfLoops() int { return p.selfLoops }
+
+// Duplicates returns how many repeated edges a lenient parser has dropped so
+// far — repeats of the same canonical {u,v} pair, so "1 2" and "2 1" count as
+// the same edge. Always 0 in strict mode, which admits parallel edges just
+// like Graph.Validate.
+func (p *EdgeListParser) Duplicates() int { return p.duplicates }
 
 // ReadEdgeList parses the text format above into a materialized graph. If no
 // header is present, N is set to 1 + the maximum vertex id seen (0 for an

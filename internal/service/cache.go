@@ -11,9 +11,14 @@ import (
 // machine count, seed and mode means the pipeline is deterministic and the
 // composed report is byte-for-byte reusable. That determinism — the batch
 // partitioner and the streaming hash sharder are both pure functions of the
-// seed — is what makes result caching sound. Gen is the registry entry's
-// generation, not its ID alone, so a different graph re-registered under a
-// reused ID can never be served the old graph's results. Batch is included
+// seed — is what makes result caching sound. Graph and Gen together are the
+// registry entry's cache scope (Registry.CacheScope): for uploads and
+// generator specs that is the ID plus the registry generation, so a
+// different graph re-registered under a reused ID can never be served the
+// old graph's results; for dataset entries it is the manifest's content
+// hash (with Gen pinned to 0), so identity follows the stored bytes and a
+// re-registered dataset keeps hitting results already computed for it —
+// repeated jobs on the same stored graph never re-parse. Batch is included
 // because, while the composed solution is batch-size-invariant, the report's
 // telemetry (batches, duration, throughput) is not. Beta is the EDCS degree
 // bound and Rounds the multi-round cap (normalize pins both to 0 where they
@@ -33,8 +38,10 @@ type Key struct {
 	Rounds int
 }
 
-func jobKey(r CreateJobRequest, gen int64) Key {
-	return Key{Graph: r.Graph, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch, Beta: r.Beta, Rounds: r.Rounds}
+// jobKey builds the cache key from a normalized request and the graph's
+// cache scope (Registry.CacheScope), which replaces the raw registry ID.
+func jobKey(r CreateJobRequest, scope string, gen int64) Key {
+	return Key{Graph: scope, Gen: gen, Task: r.Task, K: r.K, Seed: r.Seed, Mode: r.Mode, Batch: r.Batch, Beta: r.Beta, Rounds: r.Rounds}
 }
 
 // Cache is an LRU result cache with hit/miss counters. Stored reports are

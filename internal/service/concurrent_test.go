@@ -50,7 +50,7 @@ func TestConcurrentClients(t *testing.T) {
 					return
 				}
 				mu.Lock()
-				k := jobKey(req, 1)
+				k := jobKey(req, req.Graph, 1)
 				if prev, seen := sizes[k]; seen && prev != v.Result.SolutionSize {
 					mu.Unlock()
 					errs <- fmt.Errorf("key %+v: solution size %d then %d", k, prev, v.Result.SolutionSize)

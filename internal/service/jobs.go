@@ -232,11 +232,11 @@ func (m *Manager) Submit(req CreateJobRequest) (*Job, error) {
 				len(m.cluster.Workers), req.K)
 		}
 	}
-	gen, ok := m.reg.Generation(req.Graph)
+	scope, gen, ok := m.reg.CacheScope(req.Graph)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, req.Graph)
 	}
-	key := jobKey(req, gen)
+	key := jobKey(req, scope, gen)
 	rep, hit := m.cache.Get(key)
 
 	m.mu.Lock()
@@ -368,9 +368,11 @@ func (m *Manager) execute(j *Job) (*graph.RunReport, error) {
 		return nil, err // evicted or removed since submission
 	}
 	defer m.reg.Release(entry)
-	if entry.Generation() != j.key.Gen {
-		// The ID was re-registered between submission and execution; running
-		// against the new graph would publish its result under the old key.
+	if scope, gen := entry.cacheScope(); scope != j.key.Graph || gen != j.key.Gen {
+		// The ID was re-registered with a different graph between submission
+		// and execution; running against it would publish its result under
+		// the old key. A dataset re-registered with identical bytes passes —
+		// its scope is the content hash, which did not change.
 		return nil, fmt.Errorf("service: graph %q was replaced while job %s was queued", j.Req.Graph, j.ID)
 	}
 

@@ -5,17 +5,20 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/stream"
 )
 
 // Registry holds the graphs the service can run jobs against, keyed by
-// string ID. An entry is either an uploaded graph (edges resident in memory)
-// or a generator spec (edges re-derived on demand from O(1) parameters —
-// the registry's cheap tier). Entries are ref-counted: a job Acquires its
-// graph for the duration of the run, and eviction only ever removes
-// zero-ref entries, least-recently-used first, once the resident count
-// exceeds the configured cap.
+// string ID. An entry is one of three kinds: an uploaded graph (edges
+// resident in memory), a generator spec (edges re-derived on demand from
+// O(1) parameters — the registry's cheap tier), or a reference to a stored
+// dataset (internal/dataset — edges on disk, streamed segment by segment,
+// so a registered billion-edge graph costs the registry a file handle).
+// Entries are ref-counted: a job Acquires its graph for the duration of the
+// run, and eviction only ever removes zero-ref entries, least-recently-used
+// first, once the resident count exceeds the configured cap.
 type Registry struct {
 	mu          sync.Mutex
 	maxResident int // soft cap on entries (<= 0: unlimited)
@@ -30,8 +33,9 @@ type Registry struct {
 // after creation; refs and lastUse are guarded by the registry mutex.
 type GraphEntry struct {
 	ID    string
-	Gen   *GenSpec     // non-nil for generator-backed entries
-	G     *graph.Graph // non-nil for uploaded entries
+	Gen   *GenSpec         // non-nil for generator-backed entries
+	G     *graph.Graph     // non-nil for uploaded entries
+	DS    *dataset.Dataset // non-nil for dataset-backed entries
 	N     int
 	M     int // -1 when unknown (generator-backed)
 	Bytes int64
@@ -78,6 +82,19 @@ func (r *Registry) AddSpec(id string, spec *GenSpec) (GraphInfo, error) {
 	}
 	cp := *spec
 	e := &GraphEntry{Gen: &cp, N: spec.N, M: -1, Bytes: 128}
+	return r.add(id, e)
+}
+
+// AddDataset registers a stored dataset under id (the registry assigns one
+// when empty). The registry borrows the caller's open handle and never
+// closes it: the daemon keeps its store handles for its lifetime, and tests
+// can watch the same handle's SegmentReads counter a job increments. Only a
+// manifest-sized view is resident — the edges stay on disk.
+func (r *Registry) AddDataset(id string, ds *dataset.Dataset) (GraphInfo, error) {
+	if ds.NumVertices() > MaxGraphN {
+		return GraphInfo{}, fmt.Errorf("service: n=%d exceeds the cap of %d vertices", ds.NumVertices(), MaxGraphN)
+	}
+	e := &GraphEntry{DS: ds, N: ds.NumVertices(), M: ds.Edges(), Bytes: 256}
 	return r.add(id, e)
 }
 
@@ -138,6 +155,32 @@ func (r *Registry) Generation(id string) (int64, bool) {
 	return e.generation, true
 }
 
+// cacheScope returns the (graph, generation) pair result-cache keys use for
+// this entry. Dataset entries key by content hash with generation 0:
+// identity follows the bytes, so re-registering the same dataset — under
+// the same ID after an eviction, or under a different ID entirely — keeps
+// hitting the results already computed for those bytes. Upload and
+// generator entries keep the (ID, registry generation) scope, where a
+// reused ID must never see the previous graph's results.
+func (e *GraphEntry) cacheScope() (string, int64) {
+	if e.DS != nil {
+		return "ds:" + e.DS.Hash(), 0
+	}
+	return e.ID, e.generation
+}
+
+// CacheScope returns the cache keying scope for id; see cacheScope.
+func (r *Registry) CacheScope(id string) (string, int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return "", 0, false
+	}
+	scope, gen := e.cacheScope()
+	return scope, gen, true
+}
+
 // Acquire pins the graph for a job: the entry cannot be evicted until the
 // matching Release. It returns an error if the graph is unknown (possibly
 // already evicted).
@@ -175,11 +218,14 @@ func (r *Registry) Info(id string) (GraphInfo, bool) {
 }
 
 func (e *GraphEntry) infoLocked() GraphInfo {
-	src := "upload"
-	if e.Gen != nil {
+	src, hash := "upload", ""
+	switch {
+	case e.Gen != nil:
 		src = "gen"
+	case e.DS != nil:
+		src, hash = "dataset", e.DS.Hash()
 	}
-	return GraphInfo{ID: e.ID, Source: src, N: e.N, M: e.M, Bytes: e.Bytes, Refs: e.refs, Gen: e.Gen}
+	return GraphInfo{ID: e.ID, Source: src, N: e.N, M: e.M, Bytes: e.Bytes, Refs: e.refs, Gen: e.Gen, Hash: hash}
 }
 
 // Has reports whether id is registered.
@@ -218,17 +264,22 @@ func (r *Registry) Stats() RegistryStats {
 
 // Source mints a fresh streaming edge source for a job. Uploaded entries
 // stream their resident edge slice (read-only, safe to share across
-// concurrent jobs); generator entries replay their draw sequence.
+// concurrent jobs); generator entries replay their draw sequence; dataset
+// entries stream segments off disk. All three are stream.Restartable, so
+// every registry-backed cluster job can replay a lost round.
 func (e *GraphEntry) Source() (stream.EdgeSource, error) {
-	if e.Gen != nil {
+	switch {
+	case e.Gen != nil:
 		return e.Gen.Source()
+	case e.DS != nil:
+		return stream.NewDatasetSource(e.DS), nil
 	}
 	return stream.NewGraphSource(e.G), nil
 }
 
 // Materialize returns the full graph for batch-mode jobs, collecting
-// generator entries into a transient edge list that is dropped when the job
-// finishes (only uploads stay resident).
+// generator and dataset entries into a transient edge list that is dropped
+// when the job finishes (only uploads stay resident).
 func (e *GraphEntry) Materialize() (*graph.Graph, error) {
 	if e.G != nil {
 		return e.G, nil

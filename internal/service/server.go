@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	// Tracer receives structured run-trace events (job spans with run IDs).
 	// Nil disables tracing; see internal/obs.
 	Tracer *obs.Tracer
+	// DatasetDir is the root of a dataset store (coresetd -datasets): POST
+	// /v1/graphs with {"dataset": NAME} registers DatasetDir/NAME. Empty
+	// rejects dataset registrations.
+	DatasetDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +84,7 @@ type Server struct {
 	reg      *Registry
 	mgr      *Manager
 	cache    *Cache
+	store    *dataset.Store // nil without Config.DatasetDir
 	mux      *http.ServeMux
 	start    time.Time
 	metrics  *obs.Registry
@@ -95,6 +101,11 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheSize),
 		start:   time.Now(),
 		metrics: obs.NewRegistry(),
+	}
+	if cfg.DatasetDir != "" {
+		// OpenStore only fails on an uncreatable root; surface that on the
+		// first registration attempt rather than turning New fallible.
+		s.store, _ = dataset.OpenStore(cfg.DatasetDir)
 	}
 	s.ins = newInstruments(s.metrics, cfg.Tracer)
 	s.mgr = NewManager(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobRetention, ClusterConfig{
@@ -175,16 +186,42 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
+	set := 0
+	for _, has := range []bool{req.Gen != nil, req.EdgeList != "", req.Dataset != ""} {
+		if has {
+			set++
+		}
+	}
 	switch {
-	case req.Gen != nil && req.EdgeList != "":
-		writeErr(w, http.StatusBadRequest, "body must set exactly one of gen and edgeList")
+	case set != 1:
+		writeErr(w, http.StatusBadRequest, "body must set exactly one of gen, edgeList and dataset")
 	case req.Gen != nil:
 		s.addSpec(w, req.ID, req.Gen)
 	case req.EdgeList != "":
 		s.addEdgeList(w, req.ID, strings.NewReader(req.EdgeList))
 	default:
-		writeErr(w, http.StatusBadRequest, "body must set one of gen and edgeList")
+		s.addDataset(w, req.ID, req.Dataset)
 	}
+}
+
+// addDataset registers a dataset from the configured store by name. The ID
+// defaults to the dataset name, so `{"dataset": "web"}` registers graph
+// "web". The open handle stays with the registry entry for the daemon's
+// lifetime; the edges never leave disk here.
+func (s *Server) addDataset(w http.ResponseWriter, id, name string) {
+	if s.store == nil {
+		writeErr(w, http.StatusBadRequest, "this daemon has no dataset store configured (coresetd -datasets)")
+		return
+	}
+	ds, err := s.store.Open(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "dataset %q: %v", name, err)
+		return
+	}
+	if id == "" {
+		id = name
+	}
+	s.finishAdd(w, func() (GraphInfo, error) { return s.reg.AddDataset(id, ds) })
 }
 
 func (s *Server) addEdgeList(w http.ResponseWriter, id string, body io.Reader) {

@@ -154,24 +154,29 @@ func (s *GenSpec) Source() (stream.EdgeSource, error) {
 }
 
 // CreateGraphRequest is the JSON body of POST /v1/graphs. Exactly one of
-// Gen and EdgeList must be set. ID is optional; the registry assigns one
-// when empty.
+// Gen, EdgeList and Dataset must be set. ID is optional; Dataset
+// registrations default it to the dataset's name, others get a registry-
+// assigned one.
 type CreateGraphRequest struct {
 	ID       string   `json:"id,omitempty"`
 	Gen      *GenSpec `json:"gen,omitempty"`
 	EdgeList string   `json:"edgeList,omitempty"` // inline text edge list (cmd/coreset format)
+	// Dataset names a dataset in the daemon's store (coresetd -datasets);
+	// the edges stay on disk and jobs stream them segment by segment.
+	Dataset string `json:"dataset,omitempty"`
 }
 
 // GraphInfo describes a registered graph. M is -1 for generator-backed
 // entries, whose edge count is not known until a job streams them.
 type GraphInfo struct {
 	ID     string   `json:"id"`
-	Source string   `json:"source"` // "upload" | "gen"
+	Source string   `json:"source"` // "upload" | "gen" | "dataset"
 	N      int      `json:"n"`
 	M      int      `json:"m"`
 	Bytes  int64    `json:"bytes"` // approximate resident size
 	Refs   int      `json:"refs"`  // jobs currently using the graph
 	Gen    *GenSpec `json:"gen,omitempty"`
+	Hash   string   `json:"hash,omitempty"` // dataset content hash (source "dataset")
 }
 
 // CreateJobRequest is the JSON body of POST /v1/jobs.

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// storeGraph writes g into a dataset directory with small segments so tests
+// cross several segment boundaries.
+func storeGraph(t *testing.T, g *graph.Graph, segEdges int) *dataset.Dataset {
+	t.Helper()
+	dir := t.TempDir()
+	b, err := dataset.NewBuilder(dir, dataset.IngestOptions{SegmentEdges: segEdges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(g.Edges...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(g.N, "test", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// drainSource pulls everything out of a source with a deliberately awkward
+// buffer size (not aligned with segment boundaries).
+func drainSource(t *testing.T, src EdgeSource, bufSize int) []graph.Edge {
+	t.Helper()
+	var all []graph.Edge
+	buf := make([]graph.Edge, bufSize)
+	for {
+		c, err := src.Next(buf)
+		if err == io.EOF {
+			return all
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, buf[:c]...)
+	}
+}
+
+func TestDatasetSourceMatchesSlice(t *testing.T) {
+	g := gen.GNP(150, 0.08, rng.New(11))
+	d := storeGraph(t, g, 37)
+	src := NewDatasetSource(d)
+	if !src.KnownUpfront() {
+		t.Fatal("dataset n must be known upfront")
+	}
+	if src.NumVertices() != g.N {
+		t.Fatalf("NumVertices() = %d, want %d", src.NumVertices(), g.N)
+	}
+	got := drainSource(t, src, 13)
+	want := drainSource(t, NewGraphSource(g), 13)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("dataset stream differs from slice stream")
+	}
+	if src.PeakResidentBytes() <= 0 {
+		t.Fatal("PeakResidentBytes() not tracked")
+	}
+}
+
+// TestDatasetSourceRestart: a restart mid-stream replays the identical
+// sequence from the top — the contract cluster round replay depends on.
+func TestDatasetSourceRestart(t *testing.T) {
+	g := gen.GNP(100, 0.1, rng.New(3))
+	d := storeGraph(t, g, 29)
+	src := NewDatasetSource(d)
+	buf := make([]graph.Edge, 17)
+	for i := 0; i < 3; i++ { // abandon a partial pass
+		if _, err := src.Next(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if got := drainSource(t, src, 17); !reflect.DeepEqual(got, g.Edges) {
+		t.Fatal("post-restart stream differs from the edge list")
+	}
+	// And again: restart after EOF.
+	if err := src.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainSource(t, src, 64); !reflect.DeepEqual(got, g.Edges) {
+		t.Fatal("second restart differs")
+	}
+}
+
+// TestDatasetSourceBudget: the resident-memory budget is enforced, not
+// advisory. A budget below the largest segment fails the read; a budget
+// above it streams the whole dataset while PeakResidentBytes stays within.
+func TestDatasetSourceBudget(t *testing.T) {
+	g := gen.GNP(200, 0.1, rng.New(5))
+	d := storeGraph(t, g, 100)
+	maxSeg := 0
+	man := d.Manifest()
+	for _, s := range man.Segments {
+		if s.Length > maxSeg {
+			maxSeg = s.Length
+		}
+	}
+
+	tight := NewDatasetSource(d)
+	tight.MaxResidentBytes = maxSeg - 1
+	buf := make([]graph.Edge, 256)
+	var err error
+	for err == nil {
+		_, err = tight.Next(buf)
+	}
+	if err == io.EOF {
+		t.Fatalf("budget %d below largest segment %d did not fail", maxSeg-1, maxSeg)
+	}
+
+	ok := NewDatasetSource(d)
+	ok.MaxResidentBytes = maxSeg
+	if got := drainSource(t, ok, 256); !reflect.DeepEqual(got, g.Edges) {
+		t.Fatal("budgeted stream differs from the edge list")
+	}
+	if ok.PeakResidentBytes() > ok.MaxResidentBytes {
+		t.Fatalf("peak %d exceeded budget %d", ok.PeakResidentBytes(), ok.MaxResidentBytes)
+	}
+	if int64(ok.PeakResidentBytes()) >= man.Bytes {
+		t.Fatalf("peak %d not smaller than total edge bytes %d — budget proves nothing", ok.PeakResidentBytes(), man.Bytes)
+	}
+}
+
+// TestNotRestartableError: restarting a source over a non-seekable reader
+// yields the typed error naming the source kind.
+func TestNotRestartableError(t *testing.T) {
+	src := NewReaderSource(io.NopCloser(strings.NewReader("0 1\n")))
+	drainSource(t, src, 8)
+	err := src.Restart()
+	var nre *NotRestartableError
+	if !errors.As(err, &nre) {
+		t.Fatalf("Restart() = %v, want *NotRestartableError", err)
+	}
+	if !strings.Contains(nre.Source, "ReaderSource") {
+		t.Fatalf("error does not name the source kind: %q", nre.Source)
+	}
+
+	// A seekable reader restarts fine — no typed error.
+	seekable := NewReaderSource(strings.NewReader("0 1\n2 3\n"))
+	drainSource(t, seekable, 8)
+	if err := seekable.Restart(); err != nil {
+		t.Fatalf("seekable Restart: %v", err)
+	}
+}

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
@@ -26,6 +25,20 @@ type EdgeSource interface {
 	// drained (true for generators, slices and headered edge lists; false
 	// for headerless edge lists, where n is 1 + the largest id seen).
 	KnownUpfront() bool
+}
+
+// NotRestartableError reports that a retry/replay path asked a source to
+// Restart but the source cannot rewind. Source names the concrete source
+// kind (e.g. "stream.ReaderSource over non-seekable *os.File"), so a failed
+// replay says which input to fix — register a dataset or a seekable file —
+// instead of a generic "cannot restart".
+type NotRestartableError struct {
+	// Source identifies the offending source kind.
+	Source string
+}
+
+func (e *NotRestartableError) Error() string {
+	return fmt.Sprintf("stream: source %s is not restartable; replay needs a dataset, slice, generator, or seekable reader", e.Source)
 }
 
 // Restartable is the optional EdgeSource extension behind cluster round
@@ -170,12 +183,12 @@ func (s *ReaderSource) NumVertices() int   { return s.p.NumVertices() }
 func (s *ReaderSource) KnownUpfront() bool { return s.p.HasHeader() }
 
 // Restart rewinds the underlying reader and reparses from the top. It fails
-// when the reader is not seekable (e.g. stdin), in which case the source
-// cannot back a replayed cluster round.
+// with a *NotRestartableError when the reader is not seekable (e.g. stdin),
+// in which case the source cannot back a replayed cluster round.
 func (s *ReaderSource) Restart() error {
 	sk, ok := s.r.(io.Seeker)
 	if !ok {
-		return errors.New("stream: edge-list reader is not seekable; cannot restart")
+		return &NotRestartableError{Source: fmt.Sprintf("stream.ReaderSource over non-seekable %T", s.r)}
 	}
 	if _, err := sk.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("stream: restart edge list: %w", err)
